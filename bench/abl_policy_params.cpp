@@ -1,0 +1,61 @@
+// Ablation A3: IOShares SLA-threshold sweep, and the StaticReservation
+// baseline the paper argues against.
+//
+// A tighter SLA threshold throttles the interferer harder (lower reporting
+// latency, lower aggregate utilization); StaticReservation achieves
+// isolation too but pays for it permanently, even when nobody interferes.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace resex;
+  using namespace resex::bench;
+
+  print_scenario_header(
+      "Ablation A3: IOShares SLA threshold and StaticReservation baseline",
+      "Isolation/utilization trade-off: reporting latency vs interferer "
+      "throughput.");
+
+  auto base_cfg = figure_config();
+  base_cfg.with_interferer = false;
+  const auto base = core::run_scenario(base_cfg);
+  const double baseline_total = base.reporting[0].total_us;
+
+  sim::Table table({"policy", "param", "client_us", "server_total_us",
+                    "intf_MBps"});
+  table.add_row({txt("base"), txt("-"), num(base.reporting[0].client_mean_us),
+                 num(baseline_total), num(0.0)});
+
+  const auto interfered = core::run_scenario(figure_config());
+  table.add_row({txt("none"), txt("-"),
+                 num(interfered.reporting[0].client_mean_us),
+                 num(interfered.reporting[0].total_us),
+                 num(interfered.interferer_mbps)});
+
+  for (const double threshold : {5.0, 10.0, 15.0, 25.0, 50.0}) {
+    auto cfg = figure_config();
+    cfg.policy = core::PolicyKind::kIOShares;
+    cfg.sla_threshold_pct = threshold;
+    cfg.baseline_mean_us = baseline_total;
+    const auto r = core::run_scenario(cfg);
+    table.add_row({txt("IOShares"),
+                   txt("sla=" + std::to_string(static_cast<int>(threshold)) +
+                       "%"),
+                   num(r.reporting[0].client_mean_us),
+                   num(r.reporting[0].total_us), num(r.interferer_mbps)});
+  }
+
+  for (const double cap : {3.125, 10.0, 25.0}) {
+    auto cfg = figure_config();
+    cfg.policy = core::PolicyKind::kStaticReservation;
+    cfg.static_cap_pct = cap;
+    cfg.baseline_mean_us = baseline_total;
+    const auto r = core::run_scenario(cfg);
+    table.add_row({txt("StaticReservation"),
+                   txt("cap=" + std::to_string(cap).substr(0, 5) + "%"),
+                   num(r.reporting[0].client_mean_us),
+                   num(r.reporting[0].total_us), num(r.interferer_mbps)});
+  }
+  table.print(std::cout);
+  return 0;
+}

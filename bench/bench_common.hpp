@@ -1,0 +1,45 @@
+#pragma once
+// Shared helpers for the figure-reproduction benches: each bench prints the
+// series of one figure from the paper's Section VII as an aligned table on
+// stdout (machine-readable CSV can be produced with Table::save_csv).
+
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "sim/report.hpp"
+
+namespace resex::bench {
+
+using namespace resex::sim::literals;
+
+inline sim::Cell num(double v) { return sim::Cell{v}; }
+inline sim::Cell num(std::uint64_t v) {
+  return sim::Cell{static_cast<std::int64_t>(v)};
+}
+inline sim::Cell txt(std::string s) { return sim::Cell{std::move(s)}; }
+
+/// Standard run length for figure benches: 1 warm-up epoch fragment plus
+/// 1.2 s of measured time (covers a full Resos epoch).
+inline core::ScenarioConfig figure_config() {
+  core::ScenarioConfig cfg;
+  cfg.warmup = 100_ms;
+  cfg.duration = 1200_ms;
+  return cfg;
+}
+
+/// Human-readable buffer size ("64KB", "2MB").
+inline std::string buffer_name(std::uint32_t bytes) {
+  if (bytes >= 1024u * 1024u && bytes % (1024u * 1024u) == 0) {
+    return std::to_string(bytes / (1024u * 1024u)) + "MB";
+  }
+  return std::to_string(bytes / 1024u) + "KB";
+}
+
+inline void print_scenario_header(const std::string& figure,
+                                  const std::string& what) {
+  sim::print_heading(std::cout, figure);
+  std::cout << what << "\n\n";
+}
+
+}  // namespace resex::bench

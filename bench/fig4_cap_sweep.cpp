@@ -1,0 +1,38 @@
+// Figure 4: reporting-server latency as the 2MB interferer's CPU cap is
+// decreased from 100% to 10%, plus the buffer-ratio cap (100/32 ~= 3%) and
+// the base case.
+//
+// Paper result: latency falls steadily as the cap shrinks; at the
+// buffer-ratio-equivalent cap it reaches the base latency.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace resex;
+  using namespace resex::bench;
+
+  print_scenario_header(
+      "Figure 4: Latency vs interferer CPU cap (2MB interferer)",
+      "Reporting VM: 64KB, interferer: 2MB closed loop; the interferer's "
+      "static cap is swept. '3.125' is the buffer-ratio cap 100/32.");
+
+  sim::Table table({"cap_pct", "CTime_us", "WTime_us", "PTime_us",
+                    "total_us", "client_us", "intf_MBps"});
+  auto add = [&](double cap, bool with_intf) {
+    auto cfg = figure_config();
+    cfg.with_interferer = with_intf;
+    cfg.intf_cap = cap;
+    const auto r = core::run_scenario(cfg);
+    const auto& vm = r.reporting[0];
+    table.add_row({with_intf ? num(cap) : txt("base"), num(vm.ctime_us),
+                   num(vm.wtime_us), num(vm.ptime_us), num(vm.total_us),
+                   num(vm.client_mean_us), num(r.interferer_mbps)});
+  };
+  for (const double cap : {100.0, 90.0, 80.0, 70.0, 60.0, 50.0, 40.0, 30.0,
+                           20.0, 10.0, 3.125}) {
+    add(cap, true);
+  }
+  add(100.0, false);  // base
+  table.print(std::cout);
+  return 0;
+}

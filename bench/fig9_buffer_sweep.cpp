@@ -1,0 +1,48 @@
+// Figure 9: FreeMarket vs IOShares behaviour as the interfering VM's buffer
+// size varies (64KB .. 1MB).
+//
+// Paper result: IOShares keeps the reporting VM's average latency very
+// close to the base value across the sweep; FreeMarket lies between the
+// base and interfered values (work-conserving but latency-blind).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace resex;
+  using namespace resex::bench;
+
+  print_scenario_header(
+      "Figure 9: FreeMarket / IOShares vs interferer buffer size",
+      "Average I/O latency of the 64KB reporting VM.");
+
+  auto base_cfg = figure_config();
+  base_cfg.with_interferer = false;
+  const auto base = core::run_scenario(base_cfg);
+  const double baseline_total = base.reporting[0].total_us;
+
+  sim::Table table({"intf_buffer", "base_us", "interfered_us",
+                    "freemarket_us", "ioshares_us"});
+  for (const std::uint32_t buf : {64u * 1024, 128u * 1024, 256u * 1024,
+                                  512u * 1024, 1024u * 1024}) {
+    auto cfg = figure_config();
+    cfg.intf_buffer = buf;
+    const auto interfered = core::run_scenario(cfg);
+
+    auto fm = cfg;
+    fm.policy = core::PolicyKind::kFreeMarket;
+    fm.baseline_mean_us = baseline_total;
+    const auto r_fm = core::run_scenario(fm);
+
+    auto ios = cfg;
+    ios.policy = core::PolicyKind::kIOShares;
+    ios.baseline_mean_us = baseline_total;
+    const auto r_ios = core::run_scenario(ios);
+
+    table.add_row({txt(buffer_name(buf)), num(baseline_total),
+                   num(interfered.reporting[0].total_us),
+                   num(r_fm.reporting[0].total_us),
+                   num(r_ios.reporting[0].total_us)});
+  }
+  table.print(std::cout);
+  return 0;
+}

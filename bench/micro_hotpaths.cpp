@@ -1,0 +1,106 @@
+// M1: microbenchmarks of the simulation hot paths (google-benchmark).
+// These bound how much simulated time per wall second the figure benches
+// can process: the event queue, coroutine scheduling, the packet loop and
+// the pricing math dominate.
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+#include "finance/binomial.hpp"
+#include "finance/black_scholes.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace resex;
+using namespace resex::sim::literals;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      (void)q.push(t + static_cast<std::uint64_t>((i * 37) % 64), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+    t += 64;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SimulationDelayChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation s;
+    s.spawn([](sim::Simulation& sim) -> sim::Task {
+      for (int i = 0; i < 1000; ++i) co_await sim.delay(1_us);
+    }(s));
+    s.run();
+    benchmark::DoNotOptimize(s.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulationDelayChain);
+
+void BM_RngNextU64(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngNormal(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.normal());
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_BlackScholesPrice(benchmark::State& state) {
+  const finance::OptionSpec o;
+  for (auto _ : state) benchmark::DoNotOptimize(finance::price(o));
+}
+BENCHMARK(BM_BlackScholesPrice);
+
+void BM_Greeks(benchmark::State& state) {
+  const finance::OptionSpec o;
+  for (auto _ : state) benchmark::DoNotOptimize(finance::greeks(o).vega);
+}
+BENCHMARK(BM_Greeks);
+
+void BM_ImpliedVol(benchmark::State& state) {
+  const finance::OptionSpec o;
+  const double p = finance::price(o);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finance::implied_vol(o, p));
+  }
+}
+BENCHMARK(BM_ImpliedVol);
+
+void BM_Binomial(benchmark::State& state) {
+  const finance::OptionSpec o;
+  const int steps = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        finance::binomial_price(o, steps, finance::ExerciseStyle::kAmerican));
+  }
+}
+BENCHMARK(BM_Binomial)->Arg(64)->Arg(256);
+
+void BM_ScenarioSimulatedSecondPerWallTime(benchmark::State& state) {
+  // Full-system rate: one 200 ms base-case scenario per iteration.
+  for (auto _ : state) {
+    core::ScenarioConfig cfg;
+    cfg.warmup = 20_ms;
+    cfg.duration = 180_ms;
+    cfg.with_interferer = true;
+    benchmark::DoNotOptimize(
+        core::run_scenario(cfg).reporting[0].client_mean_us);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScenarioSimulatedSecondPerWallTime)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

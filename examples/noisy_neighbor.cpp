@@ -1,0 +1,56 @@
+// The paper's core story in one program: a latency-sensitive trading VM
+// shares the host's InfiniBand port with a bulk-transfer neighbour; the
+// neighbour wrecks its latency; enabling ResEx with the IOShares
+// congestion-pricing policy restores it.
+//
+//   $ ./example_noisy_neighbor
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace resex;
+  using namespace resex::sim::literals;
+
+  core::ScenarioConfig cfg;
+  cfg.warmup = 100_ms;
+  cfg.duration = 1200_ms;
+
+  // 1. Alone on the platform.
+  auto base_cfg = cfg;
+  base_cfg.with_interferer = false;
+  const auto base = core::run_scenario(base_cfg);
+  std::cout << "alone           : "
+            << base.reporting[0].client_mean_us << " us mean, "
+            << base.reporting[0].client_p99_us << " us p99\n";
+
+  // 2. A 2MB bulk-transfer neighbour moves in (no management).
+  const auto noisy = core::run_scenario(cfg);
+  std::cout << "noisy neighbour : "
+            << noisy.reporting[0].client_mean_us << " us mean, "
+            << noisy.reporting[0].client_p99_us << " us p99  (neighbour "
+            << static_cast<int>(noisy.interferer_mbps) << " MB/s)\n";
+
+  // 3. ResEx with IOShares: tax the VM causing the congestion.
+  auto managed_cfg = cfg;
+  managed_cfg.policy = core::PolicyKind::kIOShares;
+  managed_cfg.baseline_mean_us = base.reporting[0].total_us;  // the SLA
+  const auto managed = core::run_scenario(managed_cfg);
+  std::cout << "ResEx (IOShares): "
+            << managed.reporting[0].client_mean_us << " us mean, "
+            << managed.reporting[0].client_p99_us << " us p99  (neighbour "
+            << static_cast<int>(managed.interferer_mbps) << " MB/s)\n";
+
+  const double inflation =
+      noisy.reporting[0].client_mean_us - base.reporting[0].client_mean_us;
+  const double recovered =
+      noisy.reporting[0].client_mean_us -
+      managed.reporting[0].client_mean_us;
+  std::cout << "\nResEx recovered " << static_cast<int>(
+                   100.0 * recovered / inflation)
+            << "% of the interference-induced latency inflation,\nwhile "
+               "still letting the neighbour run (no static worst-case "
+               "reservation).\n";
+  return 0;
+}

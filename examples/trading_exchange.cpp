@@ -1,0 +1,66 @@
+// A fuller exchange scenario: three trading-engine VMs consolidated on one
+// host, each serving a different client feed drawn from the exchange
+// request mix (quotes / trades / risk reports) over Poisson and bursty
+// arrivals — the consolidation opportunity the paper's introduction
+// motivates (exchanges run at <10% utilization when provisioned for peaks).
+//
+//   $ ./example_trading_exchange
+
+#include <iostream>
+
+#include "core/testbed.hpp"
+#include "sim/report.hpp"
+#include "trace/workload.hpp"
+
+int main() {
+  using namespace resex;
+  using namespace resex::sim::literals;
+
+  core::Testbed testbed;
+
+  struct Feed {
+    const char* name;
+    trace::ArrivalKind arrivals;
+    double rate;
+    std::uint32_t buffer;
+  };
+  const Feed feeds[] = {
+      {"options-desk", trace::ArrivalKind::kPoisson, 1500.0, 64 * 1024},
+      {"futures-desk", trace::ArrivalKind::kFixedRate, 1000.0, 32 * 1024},
+      {"news-burst", trace::ArrivalKind::kBursty, 600.0, 128 * 1024},
+  };
+
+  std::vector<benchex::BenchPair*> pairs;
+  std::uint64_t seed = 41;
+  for (const Feed& feed : feeds) {
+    benchex::BenchExConfig cfg;
+    cfg.buffer_bytes = feed.buffer;
+    cfg.mode = benchex::LoadMode::kOpenLoop;
+    cfg.arrivals = {.kind = feed.arrivals, .rate_per_sec = feed.rate};
+    cfg.use_mix = true;  // exchange mix: 80% quotes, 18% trades, 2% risk
+    cfg.seed = ++seed;
+    pairs.push_back(&testbed.deploy_pair(cfg, feed.name));
+  }
+
+  testbed.sim().run_until(2 * sim::kSecond);
+
+  sim::Table table({"engine", "requests", "mean_us", "p50_us", "p99_us",
+                    "max_us", "jitter_us"});
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto& lat = pairs[i]->client().metrics().latency_us;
+    table.add_row({sim::Cell{std::string(feeds[i].name)},
+                   sim::Cell{static_cast<std::int64_t>(
+                       pairs[i]->server().metrics().requests)},
+                   sim::Cell{lat.mean()}, sim::Cell{lat.median()},
+                   sim::Cell{lat.percentile(99)}, sim::Cell{lat.max()},
+                   sim::Cell{lat.stddev()}});
+  }
+  std::cout << "Consolidated exchange, 2 simulated seconds, no ResEx "
+               "management:\n\n";
+  table.print(std::cout);
+  std::cout << "\nNote the heavy-tailed news-burst feed inflating its own "
+               "p99 while\nthe steady desks stay tight — collocation is "
+               "safe as long as no VM\nsaturates the fabric (cf. Figure 8; "
+               "run example_noisy_neighbor for\nthe opposite case).\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+#pragma once
+// BenchEx client: posts timestamped transaction requests and measures
+// round-trip latency from its own clock (request send -> response receipt).
+//
+// Open-loop mode paces requests from a trace arrival process (a market feed
+// does not wait for the exchange); when all ring slots are in flight it
+// blocks on credits, bounding memory. Closed-loop mode keeps a fixed number
+// of requests outstanding and is the paper's interference generator.
+
+#include <cstdint>
+
+#include "benchex/config.hpp"
+#include "benchex/endpoint.hpp"
+#include "benchex/messages.hpp"
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+#include "trace/workload.hpp"
+
+namespace resex::benchex {
+
+struct ClientMetrics {
+  sim::Samples latency_us;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t errors = 0;
+};
+
+class Client {
+ public:
+  Client(Endpoint endpoint, const BenchExConfig& config);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Request generator loop; spawn onto the simulation.
+  [[nodiscard]] sim::Task run_sender();
+  /// Response consumer loop; spawn onto the simulation.
+  [[nodiscard]] sim::Task run_receiver();
+
+  [[nodiscard]] const ClientMetrics& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] Endpoint& endpoint() noexcept { return ep_; }
+  [[nodiscard]] std::uint32_t outstanding() const noexcept {
+    return outstanding_;
+  }
+
+ private:
+  [[nodiscard]] sim::Task send_one();
+  [[nodiscard]] std::uint32_t queue_depth_limit() const;
+
+  Endpoint ep_;
+  BenchExConfig config_;
+  trace::ArrivalProcess arrivals_;
+  sim::Rng mix_rng_;
+  trace::RequestMix mix_;
+  std::uint64_t next_seq_ = 0;
+  std::uint32_t outstanding_ = 0;
+  std::unique_ptr<sim::Trigger> credit_;
+  ClientMetrics metrics_;
+};
+
+}  // namespace resex::benchex

@@ -1,0 +1,37 @@
+#pragma once
+// One BenchEx endpoint: a guest domain's verbs context plus its message ring
+// (the region the peer RDMA-writes into) and the peer's ring coordinates
+// (exchanged out-of-band at connection setup, as real RDMA applications do).
+
+#include <cstdint>
+#include <memory>
+
+#include "fabric/verbs.hpp"
+
+namespace resex::benchex {
+
+struct Endpoint {
+  hv::Domain* domain = nullptr;
+  std::unique_ptr<fabric::Verbs> verbs;
+  std::uint32_t pd = 0;
+  fabric::CompletionQueue* send_cq = nullptr;
+  fabric::CompletionQueue* recv_cq = nullptr;
+  fabric::QueuePair* qp = nullptr;
+
+  mem::GuestAddr ring_base = 0;  // local ring the peer writes into
+  mem::RegisteredRegion ring_mr;
+
+  mem::GuestAddr peer_ring_base = 0;
+  std::uint32_t peer_rkey = 0;
+
+  [[nodiscard]] mem::GuestAddr slot_addr(std::uint32_t slot,
+                                         std::uint32_t buffer_bytes) const {
+    return ring_base + std::uint64_t{slot} * buffer_bytes;
+  }
+  [[nodiscard]] mem::GuestAddr peer_slot_addr(
+      std::uint32_t slot, std::uint32_t buffer_bytes) const {
+    return peer_ring_base + std::uint64_t{slot} * buffer_bytes;
+  }
+};
+
+}  // namespace resex::benchex

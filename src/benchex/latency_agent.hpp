@@ -1,0 +1,44 @@
+#pragma once
+// In-VM latency reporting agent.
+//
+// BenchEx's server reports each request's service latency to an agent
+// running inside its VM; ResEx (in dom0) pulls the agent's window statistics
+// every interval to detect interference (Section IV / VI-C). Reporting
+// costs the server ~10 us of CPU per sample, which the server charges
+// explicitly (the paper includes this overhead in its results).
+
+#include <cstdint>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace resex::benchex {
+
+class LatencyAgent {
+ public:
+  explicit LatencyAgent(std::size_t window = 128) : window_(window) {}
+
+  /// Record one service-latency observation (microseconds).
+  void report(double total_us) {
+    window_.add(total_us);
+    ++reports_;
+  }
+
+  struct Snapshot {
+    double mean_us = 0.0;
+    double stddev_us = 0.0;
+    std::uint64_t reports = 0;  // cumulative; diff to get per-interval count
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    return Snapshot{window_.mean(), window_.stddev(), reports_};
+  }
+
+  [[nodiscard]] std::uint64_t reports() const noexcept { return reports_; }
+
+ private:
+  sim::SlidingWindow window_;
+  std::uint64_t reports_ = 0;
+};
+
+}  // namespace resex::benchex

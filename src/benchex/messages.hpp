@@ -1,0 +1,47 @@
+#pragma once
+// BenchEx wire formats.
+//
+// Requests and responses travel as RDMA-write-with-immediate messages whose
+// leading bytes are these headers, really DMA-written into the peer's ring
+// slot (the rest of the configured buffer size is accounted bulk payload —
+// market data, order book state — whose content is irrelevant). The
+// immediate value carries the ring-slot index.
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "finance/workload.hpp"
+#include "sim/time.hpp"
+
+namespace resex::benchex {
+
+struct RequestHeader {
+  std::uint64_t seq = 0;
+  std::uint64_t client_ts = 0;  // client send timestamp (its clock)
+  std::uint32_t instruments = 0;
+  std::uint8_t kind = 0;  // finance::RequestKind
+  std::uint8_t pad[3] = {};
+  std::uint32_t payload_len = 0;
+};
+static_assert(std::is_trivially_copyable_v<RequestHeader>);
+
+struct ResponseHeader {
+  std::uint64_t seq = 0;
+  std::uint64_t client_ts = 0;     // echoed from the request
+  std::uint64_t server_done_ts = 0;  // server clock when response was posted
+  double checksum = 0.0;           // pricing result digest
+};
+static_assert(std::is_trivially_copyable_v<ResponseHeader>);
+
+/// Serialize a trivially-copyable header into DMA-able bytes.
+template <typename T>
+[[nodiscard]] std::vector<std::byte> to_bytes(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::byte> out(sizeof(T));
+  std::memcpy(out.data(), &value, sizeof(T));
+  return out;
+}
+
+}  // namespace resex::benchex

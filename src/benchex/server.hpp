@@ -1,0 +1,61 @@
+#pragma once
+// BenchEx trading server.
+//
+// Serves transaction requests strictly FCFS (Section IV: each transaction
+// may change the outcome of the next, so the exchange cannot reorder).
+// Per-request latency decomposes exactly as the paper's Figure 2:
+//   PTime — request CQE DMA-written by the HCA -> dequeued by the server
+//           (queueing + polling delay),
+//   CTime — financial processing (real pricing math, simulated CPU cost),
+//   WTime — response posted -> its completion observed (I/O wait).
+
+#include <cstdint>
+
+#include "benchex/config.hpp"
+#include "benchex/endpoint.hpp"
+#include "benchex/latency_agent.hpp"
+#include "benchex/messages.hpp"
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+
+namespace resex::benchex {
+
+struct ServerMetrics {
+  sim::Samples ptime_us;
+  sim::Samples ctime_us;
+  sim::Samples wtime_us;
+  sim::Samples total_us;
+  std::uint64_t requests = 0;
+  std::uint64_t send_errors = 0;
+  double checksum = 0.0;  // accumulated pricing digests (results are real)
+};
+
+class Server {
+ public:
+  Server(Endpoint endpoint, const BenchExConfig& config,
+         LatencyAgent* agent = nullptr)
+      : ep_(std::move(endpoint)), config_(config), agent_(agent),
+        processor_(config.seed) {}
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The main server loop; spawn onto the simulation. Runs forever (torn
+  /// down with the simulation).
+  [[nodiscard]] sim::Task run();
+
+  [[nodiscard]] const ServerMetrics& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] Endpoint& endpoint() noexcept { return ep_; }
+  [[nodiscard]] LatencyAgent* agent() noexcept { return agent_; }
+
+ private:
+  Endpoint ep_;
+  BenchExConfig config_;
+  LatencyAgent* agent_;
+  finance::RequestProcessor processor_;
+  ServerMetrics metrics_;
+};
+
+}  // namespace resex::benchex

@@ -1,0 +1,163 @@
+#include "core/experiment.hpp"
+
+#include <memory>
+
+namespace resex::core {
+
+const char* to_string(PolicyKind k) noexcept {
+  switch (k) {
+    case PolicyKind::kNone: return "none";
+    case PolicyKind::kFreeMarket: return "FreeMarket";
+    case PolicyKind::kIOShares: return "IOShares";
+    case PolicyKind::kStaticReservation: return "StaticReservation";
+  }
+  return "unknown";
+}
+
+namespace {
+
+VmSummary summarize(const std::string& name, benchex::BenchPair& pair) {
+  VmSummary s;
+  s.name = name;
+  const auto& sm = pair.server().metrics();
+  const auto& cm = pair.client().metrics();
+  s.requests = sm.requests;
+  s.client_mean_us = cm.latency_us.mean();
+  s.client_stddev_us = cm.latency_us.stddev();
+  s.client_p99_us = cm.latency_us.percentile(99.0);
+  s.ptime_us = sm.ptime_us.mean();
+  s.ctime_us = sm.ctime_us.mean();
+  s.wtime_us = sm.wtime_us.mean();
+  s.ptime_sd_us = sm.ptime_us.stddev();
+  s.ctime_sd_us = sm.ctime_us.stddev();
+  s.wtime_sd_us = sm.wtime_us.stddev();
+  s.total_us = sm.total_us.mean();
+  s.client_latency_us = cm.latency_us;
+  return s;
+}
+
+std::unique_ptr<PricingPolicy> make_policy(const ScenarioConfig& cfg,
+                                           hv::DomainId interferer_id) {
+  switch (cfg.policy) {
+    case PolicyKind::kNone:
+      return nullptr;
+    case PolicyKind::kFreeMarket:
+      return std::make_unique<FreeMarketPolicy>();
+    case PolicyKind::kIOShares:
+      return std::make_unique<IOSharesPolicy>();
+    case PolicyKind::kStaticReservation:
+      return std::make_unique<StaticReservationPolicy>(
+          std::unordered_map<hv::DomainId, double>{
+              {interferer_id, cfg.static_cap_pct}});
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+double measure_base_total_us(ScenarioConfig config) {
+  config.with_interferer = false;
+  config.policy = PolicyKind::kNone;
+  config.duration = 300 * sim::kMillisecond;
+  const auto result = run_scenario(config);
+  return result.reporting.at(0).total_us;
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  Testbed tb;
+  ScenarioResult result;
+
+  // --- deploy the workloads --------------------------------------------------
+  std::vector<benchex::BenchPair*> reporting;
+  for (std::uint32_t i = 0; i < config.reporting_count; ++i) {
+    auto cfg = reporting_config(config.reporting_buffer,
+                                config.reporting_rate, config.seed + i);
+    cfg.arrivals.kind = config.reporting_arrivals;
+    cfg.metrics_start = config.warmup;
+    reporting.push_back(
+        &tb.deploy_pair(cfg, "rep" + std::to_string(i), /*with_agent=*/true));
+  }
+  result.reporting_vm_id = reporting.front()->server_domain().id();
+
+  benchex::BenchPair* interferer = nullptr;
+  if (config.with_interferer) {
+    auto cfg = interferer_config(config.intf_buffer, config.intf_depth,
+                                 config.seed + 100);
+    if (config.intf_rate > 0.0) {
+      cfg.mode = benchex::LoadMode::kOpenLoop;
+      cfg.arrivals = {.kind = trace::ArrivalKind::kFixedRate,
+                      .rate_per_sec = config.intf_rate};
+      cfg.queue_depth = 0;
+    }
+    cfg.think_time = static_cast<sim::SimDuration>(config.intf_think_us *
+                                                   sim::kMicrosecond);
+    cfg.metrics_start = config.warmup;
+    interferer = &tb.deploy_pair(cfg, "intf", /*with_agent=*/true);
+    result.interferer_vm_id = interferer->server_domain().id();
+    if (config.intf_cap < 100.0) {
+      tb.node_a().scheduler().set_cap(interferer->server_domain().vcpu(),
+                                      config.intf_cap);
+    }
+  }
+
+  // --- ResEx (IBMon + controller), if a policy is active ---------------------
+  std::unique_ptr<ibmon::IbMon> ibmon;
+  std::unique_ptr<ResExController> controller;
+  if (config.policy != PolicyKind::kNone) {
+    result.baseline_mean_us = config.baseline_mean_us.has_value()
+                                  ? *config.baseline_mean_us
+                                  : measure_base_total_us(config);
+
+    ibmon = std::make_unique<ibmon::IbMon>(
+        tb.sim(), ibmon::IbMonConfig{.sample_period = config.ibmon_period,
+                                     .mtu_bytes =
+                                         tb.fabric().config().mtu_bytes});
+    auto watch = [&](hv::Domain& dom) {
+      dom.memory().set_foreign_mappable(true);
+      ibmon->watch_domain(dom, tb.hca_a().domain_cqs(dom.id()));
+    };
+    for (auto* pair : reporting) watch(pair->server_domain());
+    if (interferer != nullptr) watch(interferer->server_domain());
+    ibmon->start();
+
+    ControllerConfig ctrl_cfg;
+    ctrl_cfg.resos = config.resos;
+    ctrl_cfg.sla.threshold_pct = config.sla_threshold_pct;
+    controller = std::make_unique<ResExController>(
+        tb.node_a(), *ibmon, make_policy(config, result.interferer_vm_id),
+        ctrl_cfg);
+    for (auto* pair : reporting) {
+      controller->monitor(pair->server_domain(), &pair->agent(),
+                          config.reporting_weight, result.baseline_mean_us);
+    }
+    if (interferer != nullptr) {
+      // The interferer is charged for its usage but provides no latency
+      // feedback (its SLA is best-effort).
+      controller->monitor(interferer->server_domain(), nullptr,
+                          config.intf_weight);
+    }
+    controller->start();
+  }
+
+  // --- run --------------------------------------------------------------------
+  tb.sim().run_until(config.warmup + config.duration);
+
+  // --- collect ------------------------------------------------------------------
+  for (std::size_t i = 0; i < reporting.size(); ++i) {
+    result.reporting.push_back(
+        summarize("rep" + std::to_string(i), *reporting[i]));
+  }
+  if (interferer != nullptr) {
+    result.interferer = summarize("intf", *interferer);
+    const auto& ep = interferer->server().endpoint();
+    result.interferer_mbps =
+        static_cast<double>(ep.qp->bytes_sent()) /
+        sim::to_sec(config.warmup + config.duration) / 1e6;
+  }
+  if (controller != nullptr) {
+    result.timeline = controller->timeline();
+  }
+  return result;
+}
+
+}  // namespace resex::core

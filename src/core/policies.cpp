@@ -1,0 +1,131 @@
+#include "core/policies.hpp"
+
+#include <algorithm>
+
+namespace resex::core {
+
+FreeMarketPolicy::FreeMarketPolicy() : FreeMarketPolicy(Params{}) {}
+IOSharesPolicy::IOSharesPolicy() : IOSharesPolicy(Params{}) {}
+
+// --- FreeMarket --------------------------------------------------------------
+
+void FreeMarketPolicy::on_epoch_start(ResosLedger& ledger) {
+  (void)ledger;
+  // New epoch, fresh allocation: restore full CPU to every VM we throttled.
+  for (auto& [id, cap] : caps_) cap = 100.0;
+}
+
+PolicyDecision FreeMarketPolicy::on_interval(
+    const VmObservation& self, std::span<const VmObservation> all,
+    ResosLedger& ledger) {
+  (void)all;
+  // Fixed prices: 1 Reso per CPU-percent, 1 Reso per MTU (Section VI-A).
+  ledger.deduct(self.id, self.cpu_pct + self.mtus);
+
+  auto [it, inserted] = caps_.try_emplace(self.id, 100.0);
+  double& cap = it->second;
+  if (ledger.fraction_remaining(self.id) < params_.low_watermark &&
+      self.epoch_remaining > params_.epoch_guard) {
+    cap = std::max(params_.min_cap, cap * (1.0 - params_.cap_step));
+  }
+  return PolicyDecision{cap};
+}
+
+// --- IOShares ----------------------------------------------------------------
+
+void IOSharesPolicy::on_epoch_start(ResosLedger& ledger) {
+  // Rates persist across epochs (congestion pricing is stateful); only the
+  // ledger balances replenish, which ResosLedger already did. Publish the
+  // current rates to the ledger again in case a replenish reset anything.
+  for (const auto& [id, rate] : rates_) ledger.set_charge_rate(id, rate);
+}
+
+PolicyDecision IOSharesPolicy::on_interval(
+    const VmObservation& self, std::span<const VmObservation> all,
+    ResosLedger& ledger) {
+  // Apply any rate increase other VMs assessed against us this pass.
+  auto& rate = rates_.try_emplace(self.id, 1.0).first->second;
+  bool just_raised = false;
+  if (const auto pending = pending_rate_increase_.find(self.id);
+      pending != pending_rate_increase_.end()) {
+    rate += pending->second;
+    pending_rate_increase_.erase(pending);
+    just_raised = true;
+  }
+
+  // Keep the smoothed view of this VM's send volume current. Per-interval
+  // MTU counts are bursty (a 2 MB sender completes one message every few
+  // intervals), so interferer identification works on an EWMA; each VM's
+  // EWMA advances exactly once per interval, on its own iteration.
+  (void)smoothed_mtus(self.id, self.mtus);
+  auto smoothed_view = [this](const VmObservation& vm) {
+    const auto it = mtu_ewma_.find(vm.id);
+    return it != mtu_ewma_.end() ? it->second : vm.mtus;
+  };
+
+  // If this VM reports interference, find the interferer and schedule its
+  // price increase: r' = IOShare * IntfPercent. Candidates are competing
+  // senders that (a) are not themselves reporting an SLA violation — a
+  // fellow victim is never the culprit — and (b) push markedly more I/O
+  // than this VM (the paper identifies interferers by their larger buffer
+  // ratio; "ResEx adapts to the I/O performed by the VMs to not penalize
+  // VMs if they are doing the same amount of I/O", Section VII-C).
+  if (self.intf_pct > 0.0) {
+    const double own = mtu_ewma_[self.id];
+    double total_mtus = 0.0;
+    hv::DomainId interferer_id = self.id;
+    double interferer_mtus = -1.0;
+    for (const auto& vm : all) {
+      const double smoothed = smoothed_view(vm);
+      total_mtus += smoothed;
+      if (vm.id == self.id || vm.intf_pct > 0.0) continue;
+      if (smoothed <= 1.5 * own) continue;
+      if (smoothed > interferer_mtus) {
+        interferer_id = vm.id;
+        interferer_mtus = smoothed;
+      }
+    }
+    if (interferer_id != self.id && interferer_mtus > 0.0 &&
+        total_mtus > 0.0) {
+      const double io_share = interferer_mtus / total_mtus;
+      const double increase = io_share * (self.intf_pct / 100.0);
+      pending_rate_increase_[interferer_id] += increase;
+    }
+  } else if (!just_raised) {
+    // Back off while clean: decay the rate toward the base price (but never
+    // in the same interval a congestion charge was just applied).
+    rate = 1.0 + (rate - 1.0) * params_.rate_decay;
+    if (rate < 1.0001) rate = 1.0;
+  }
+
+  // Charge this VM's usage at its (possibly raised) rate, and derive its
+  // cap: New CPU Cap = 100 * prevRate / (prevRate + r') telescopes to
+  // 100 / rate relative to the base rate of 1.
+  ledger.set_charge_rate(self.id, rate);
+  ledger.deduct(self.id, self.cpu_pct + self.mtus);
+  const double cap = std::clamp(100.0 / rate, params_.min_cap, 100.0);
+  return PolicyDecision{cap};
+}
+
+double IOSharesPolicy::smoothed_mtus(hv::DomainId id, double sample) {
+  const auto [it, inserted] = mtu_ewma_.try_emplace(id, sample);
+  if (!inserted) {
+    it->second = (1.0 - params_.mtu_ewma) * it->second +
+                 params_.mtu_ewma * sample;
+  }
+  return it->second;
+}
+
+// --- StaticReservation -------------------------------------------------------
+
+PolicyDecision StaticReservationPolicy::on_interval(
+    const VmObservation& self, std::span<const VmObservation> all,
+    ResosLedger& ledger) {
+  (void)all;
+  ledger.deduct(self.id, self.cpu_pct + self.mtus);
+  const auto it = caps_.find(self.id);
+  if (it == caps_.end()) return PolicyDecision{};
+  return PolicyDecision{it->second};
+}
+
+}  // namespace resex::core

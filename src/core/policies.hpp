@@ -1,0 +1,107 @@
+#pragma once
+// The pricing policies evaluated in the paper (Section VI-B/C) plus two
+// reference policies used by the ablation benches.
+
+#include <unordered_map>
+
+#include "core/policy.hpp"
+
+namespace resex::core {
+
+/// FreeMarket (Algorithm 1): fixed unit prices, maximum utilization. Every
+/// VM spends freely; when a VM's balance falls below `low_watermark` of its
+/// allocation while more than `epoch_guard` of the epoch remains, its cap is
+/// stepped down by `cap_step` of its current value each interval (a gradual
+/// slowdown instead of a hard stop), and restored at the next epoch.
+class FreeMarketPolicy final : public PricingPolicy {
+ public:
+  struct Params {
+    double low_watermark = 0.10;
+    double epoch_guard = 0.10;
+    double cap_step = 0.10;
+    double min_cap = 5.0;
+  };
+  FreeMarketPolicy();
+  explicit FreeMarketPolicy(Params params) : params_(params) {}
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "FreeMarket";
+  }
+  void on_epoch_start(ResosLedger& ledger) override;
+  PolicyDecision on_interval(const VmObservation& self,
+                             std::span<const VmObservation> all,
+                             ResosLedger& ledger) override;
+
+ private:
+  Params params_;
+  std::unordered_map<hv::DomainId, double> caps_;
+};
+
+/// IOShares (Algorithm 2): congestion pricing. When a VM reports latency
+/// above its SLA, the largest competing sender is identified as the
+/// interferer; its charge rate grows by IOShare * IntfPercent and its cap
+/// follows 100 * prevRate / (prevRate + r'). Rates decay back toward 1
+/// while no interference is reported (ResEx "backs off when there isn't
+/// any interference", Section VII-C).
+class IOSharesPolicy final : public PricingPolicy {
+ public:
+  struct Params {
+    /// Per clean interval: rate -> 1 + (rate-1)*decay. Must be slow relative
+    /// to how often congestion charges land: a bulk sender completes its
+    /// large messages only every few intervals, so an aggressive decay would
+    /// pull the price back to base between its own completions.
+    double rate_decay = 0.98;
+    double min_cap = 2.0;
+    /// EWMA weight for per-interval MTU counts (identifying the interferer
+    /// from bursty per-interval completions needs smoothing).
+    double mtu_ewma = 0.2;
+  };
+  IOSharesPolicy();
+  explicit IOSharesPolicy(Params params) : params_(params) {}
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "IOShares";
+  }
+  void on_epoch_start(ResosLedger& ledger) override;
+  PolicyDecision on_interval(const VmObservation& self,
+                             std::span<const VmObservation> all,
+                             ResosLedger& ledger) override;
+
+  [[nodiscard]] double rate_of(hv::DomainId id) const {
+    const auto it = rates_.find(id);
+    return it == rates_.end() ? 1.0 : it->second;
+  }
+
+ private:
+  [[nodiscard]] double smoothed_mtus(hv::DomainId id, double sample);
+
+  Params params_;
+  std::unordered_map<hv::DomainId, double> rates_;
+  std::unordered_map<hv::DomainId, double> mtu_ewma_;
+  // Interference flags raised for interferers during this interval's pass
+  // (set while processing the suffering VM, consumed on the interferer's
+  // own iteration — the "last iteration of the loop" coupling in Alg. 2).
+  std::unordered_map<hv::DomainId, double> pending_rate_increase_;
+};
+
+/// Worst-case static reservation: every VM permanently capped at its
+/// configured share. The no-ResEx baseline the paper argues against
+/// ("without requiring worst-case-based reservations").
+class StaticReservationPolicy final : public PricingPolicy {
+ public:
+  explicit StaticReservationPolicy(
+      std::unordered_map<hv::DomainId, double> caps)
+      : caps_(std::move(caps)) {}
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "StaticReservation";
+  }
+  PolicyDecision on_interval(const VmObservation& self,
+                             std::span<const VmObservation> all,
+                             ResosLedger& ledger) override;
+
+ private:
+  std::unordered_map<hv::DomainId, double> caps_;
+};
+
+}  // namespace resex::core

@@ -1,0 +1,51 @@
+#pragma once
+// Pricing-policy interface (Section V-D): a policy sees, every interval, each
+// monitored VM's resource usage plus the interference picture across all
+// VMs, charges Resos through the ledger, and decides CPU caps.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/resos.hpp"
+
+namespace resex::core {
+
+/// One interval's measurements for one VM, gathered by the controller from
+/// XenStat (CPU), IBMon (I/O), and the in-VM agent (latency).
+struct VmObservation {
+  hv::DomainId id = 0;
+  double cpu_pct = 0.0;      // CPU consumed this interval, percent of a PCPU
+  double mtus = 0.0;         // MTUs sent this interval (IBMon estimate)
+  double intf_pct = 0.0;     // interference percent (0: within SLA)
+  double current_cap = 100.0;
+  /// Fraction of the current epoch still ahead (1 at epoch start, ~0 at
+  /// the end) — FreeMarket's "more than 10% of the epoch remaining" test.
+  double epoch_remaining = 1.0;
+};
+
+struct PolicyDecision {
+  /// Cap to apply to the VM this interval (percent); nullopt = leave as is.
+  std::optional<double> new_cap;
+};
+
+class PricingPolicy {
+ public:
+  virtual ~PricingPolicy() = default;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Called at every epoch boundary after the ledger replenishes.
+  virtual void on_epoch_start(ResosLedger& ledger) { (void)ledger; }
+
+  /// Called once per VM per interval. `self` is the VM under consideration;
+  /// `all` contains this interval's observations for every monitored VM
+  /// (including `self`). The policy deducts Resos and returns a cap
+  /// decision for `self`.
+  virtual PolicyDecision on_interval(const VmObservation& self,
+                                     std::span<const VmObservation> all,
+                                     ResosLedger& ledger) = 0;
+};
+
+}  // namespace resex::core

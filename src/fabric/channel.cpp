@@ -1,0 +1,155 @@
+#include "fabric/channel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fabric/queue_pair.hpp"
+
+namespace resex::fabric {
+
+Channel::Channel(sim::Simulation& sim, const FabricConfig& config,
+                 std::string name)
+    : sim_(sim), config_(config), name_(std::move(name)) {}
+
+Channel::Flow& Channel::flow_for(QpNum qp) {
+  for (auto& f : flows_) {
+    if (f.qp == qp) return f;
+  }
+  flows_.push_back(Flow{});
+  flows_.back().qp = qp;
+  return flows_.back();
+}
+
+void Channel::set_flow_weight(QpNum qp, std::uint32_t weight) {
+  Flow& f = flow_for(qp);
+  f.weight = std::max<std::uint32_t>(weight, 1);
+  f.grants_left = f.weight;
+}
+
+std::uint32_t Channel::flow_weight(QpNum qp) const {
+  for (const auto& f : flows_) {
+    if (f.qp == qp) return f.weight;
+  }
+  return 1;
+}
+
+void Channel::set_flow_rate_limit(QpNum qp, double bytes_per_sec,
+                                  std::uint32_t burst_bytes) {
+  if (bytes_per_sec < 0.0) {
+    throw std::invalid_argument("Channel: negative rate limit");
+  }
+  Flow& f = flow_for(qp);
+  f.rate_bytes_per_sec = bytes_per_sec;
+  f.bucket_cap = static_cast<double>(config_.mtu_bytes) + burst_bytes;
+  f.tokens = f.bucket_cap;
+  f.tokens_updated = sim_.now();
+  if (!busy_) try_start();
+}
+
+double Channel::flow_rate_limit(QpNum qp) const {
+  for (const auto& f : flows_) {
+    if (f.qp == qp) return f.rate_bytes_per_sec;
+  }
+  return 0.0;
+}
+
+bool Channel::may_send(Flow& f, std::uint32_t bytes) {
+  if (f.rate_bytes_per_sec <= 0.0) return true;
+  const sim::SimTime now = sim_.now();
+  f.tokens = std::min(
+      f.bucket_cap,
+      f.tokens + f.rate_bytes_per_sec *
+                     static_cast<double>(now - f.tokens_updated) / 1e9);
+  f.tokens_updated = now;
+  return f.tokens >= static_cast<double>(bytes);
+}
+
+sim::SimTime Channel::eligible_at(const Flow& f) const {
+  const double needed =
+      static_cast<double>(f.packets.front().bytes) - f.tokens;
+  if (needed <= 0.0) return sim_.now();
+  const double wait_ns = needed / f.rate_bytes_per_sec * 1e9;
+  return sim_.now() + static_cast<sim::SimDuration>(wait_ns) + 1;
+}
+
+void Channel::enqueue(detail::Packet pkt) {
+  if (!sink_) {
+    throw std::logic_error("Channel '" + name_ + "': no sink connected");
+  }
+  flow_for(pkt.transfer->src_qp->num()).packets.push_back(std::move(pkt));
+  if (!busy_) try_start();
+}
+
+std::uint64_t Channel::backlog_packets() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& f : flows_) n += f.packets.size();
+  return n;
+}
+
+void Channel::arm_rate_timer() {
+  sim::SimTime soonest = ~sim::SimTime{0};
+  for (const auto& f : flows_) {
+    if (!f.packets.empty() && f.rate_bytes_per_sec > 0.0) {
+      soonest = std::min(soonest, eligible_at(f));
+    }
+  }
+  if (soonest == ~sim::SimTime{0}) return;
+  rate_timer_.cancel();
+  rate_timer_ = sim_.schedule_at(soonest, [this] {
+    if (!busy_) try_start();
+  });
+}
+
+void Channel::try_start() {
+  if (busy_) return;
+  const std::size_t n = flows_.size();
+  if (n == 0) return;
+  // Weighted round-robin with per-flow token buckets: starting at the
+  // cursor, grant the first flow that has a packet and the tokens to send
+  // it. A flow keeps the grant for up to `weight` consecutive packets —
+  // the priority control of newer IB HCAs; the token bucket is their
+  // bandwidth-limit control.
+  bool rate_blocked = false;
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const std::size_t pos = (rr_cursor_ + probe) % n;
+    Flow& f = flows_[pos];
+    if (f.packets.empty()) continue;
+    if (!may_send(f, f.packets.front().bytes)) {
+      rate_blocked = true;
+      continue;
+    }
+
+    detail::Packet pkt = std::move(f.packets.front());
+    f.packets.pop_front();
+    if (f.rate_bytes_per_sec > 0.0) {
+      f.tokens -= static_cast<double>(pkt.bytes);
+    }
+    if (f.grants_left > 1 && !f.packets.empty()) {
+      --f.grants_left;
+      rr_cursor_ = pos;  // keep the grant on this flow
+    } else {
+      f.grants_left = f.weight;
+      rr_cursor_ = pos + 1;
+    }
+
+    busy_ = true;
+    const sim::SimDuration tx = config_.serialization_time(pkt.bytes);
+    busy_time_ += tx;
+    ++packets_sent_;
+    bytes_sent_ += pkt.bytes;
+    sim_.schedule_in(tx, [this, pkt = std::move(pkt)]() mutable {
+      busy_ = false;
+      sim_.schedule_in(config_.propagation_delay,
+                       [sink = sink_, pkt = std::move(pkt)]() mutable {
+                         sink(std::move(pkt));
+                       });
+      try_start();
+    });
+    return;
+  }
+  // Everything pending is rate-limited below its bucket: wake up when the
+  // earliest bucket refills.
+  if (rate_blocked) arm_rate_timer();
+}
+
+}  // namespace resex::fabric

@@ -1,0 +1,103 @@
+#pragma once
+// Unidirectional, bandwidth-limited link channel with per-QP round-robin
+// packet arbitration.
+//
+// This is where interference physically happens: all QPs sharing a host port
+// contend here, one MTU at a time. A VM streaming 2 MB messages and a VM
+// sending 64 KB messages interleave packet-by-packet, so the small flow's
+// transfer time inflates with the large flow's offered load — the effect the
+// paper's Figures 1-4 measure.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fabric/types.hpp"
+#include "sim/simulation.hpp"
+
+namespace resex::fabric {
+
+class Channel {
+ public:
+  Channel(sim::Simulation& sim, const FabricConfig& config, std::string name);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Where fully-serialized packets are delivered (after propagation delay).
+  void set_sink(std::function<void(detail::Packet)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  /// Queue one packet for transmission. Packets of the same QP stay FIFO;
+  /// packets of different QPs are arbitrated round-robin, one MTU per grant
+  /// (weighted if per-QP weights are set).
+  void enqueue(detail::Packet pkt);
+
+  // --- hardware QoS (Section I: "Newer generation InfiniBand cards allow
+  // controls such as setting a limit on bandwidth for different traffic
+  // flows and giving priority to certain traffic flows over others") -------
+
+  /// Weighted round-robin: a flow with weight w gets up to w consecutive
+  /// packet grants per arbitration visit (default 1).
+  void set_flow_weight(QpNum qp, std::uint32_t weight);
+  [[nodiscard]] std::uint32_t flow_weight(QpNum qp) const;
+
+  /// Token-bucket rate limit for one QP's flow, bytes/second (0 = none).
+  /// Burst capacity is one MTU plus `burst_bytes`.
+  void set_flow_rate_limit(QpNum qp, double bytes_per_sec,
+                           std::uint32_t burst_bytes = 0);
+  [[nodiscard]] double flow_rate_limit(QpNum qp) const;
+
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+  /// Packets queued but not yet on the wire.
+  [[nodiscard]] std::uint64_t backlog_packets() const noexcept;
+  [[nodiscard]] std::uint64_t packets_sent() const noexcept {
+    return packets_sent_;
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+    return bytes_sent_;
+  }
+  /// Cumulative time the transmitter was serializing (utilization numerator).
+  [[nodiscard]] sim::SimDuration busy_time() const noexcept {
+    return busy_time_;
+  }
+
+ private:
+  struct Flow {
+    QpNum qp = 0;
+    std::deque<detail::Packet> packets;
+    std::uint32_t weight = 1;
+    std::uint32_t grants_left = 1;  // WRR grants remaining this visit
+    // Token bucket (rate limiting). Tokens are bytes.
+    double rate_bytes_per_sec = 0.0;  // 0 = unlimited
+    double tokens = 0.0;
+    double bucket_cap = 0.0;
+    sim::SimTime tokens_updated = 0;
+  };
+
+  Flow& flow_for(QpNum qp);
+  void try_start();
+  /// Refill `f`'s bucket to the current time; true if it may send `bytes`.
+  bool may_send(Flow& f, std::uint32_t bytes);
+  /// Earliest time the rate-limited flow could send its head packet.
+  [[nodiscard]] sim::SimTime eligible_at(const Flow& f) const;
+  void arm_rate_timer();
+
+  sim::EventHandle rate_timer_;
+
+  sim::Simulation& sim_;
+  const FabricConfig& config_;
+  std::string name_;
+  std::function<void(detail::Packet)> sink_;
+
+  std::vector<Flow> flows_;    // stable per-QP state, created on first use
+  std::size_t rr_cursor_ = 0;  // round-robin position in flows_
+  bool busy_ = false;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  sim::SimDuration busy_time_ = 0;
+};
+
+}  // namespace resex::fabric

@@ -1,0 +1,57 @@
+#include "fabric/completion_queue.hpp"
+
+namespace resex::fabric {
+
+CompletionQueue::CompletionQueue(sim::Simulation& sim,
+                                 mem::GuestMemory& memory,
+                                 mem::GuestAddr base, std::uint32_t entries,
+                                 std::uint32_t cq_id)
+    : sim_(sim), memory_(memory), base_(base), entries_(entries), id_(cq_id) {
+  if (entries_ == 0) {
+    throw std::invalid_argument("CompletionQueue: entries must be > 0");
+  }
+  if (base_ % mem::kPageSize != 0) {
+    throw std::invalid_argument(
+        "CompletionQueue: ring must be page-aligned (for introspection)");
+  }
+  // Initialise every slot's owner byte to "invalid for lap 0" (owner 0,
+  // since lap 0 expects owner 1).
+  memory_.zero(base_, ring_bytes());
+}
+
+void CompletionQueue::produce(Cqe cqe) {
+  if (produced_ - consumed_ >= entries_) {
+    throw std::runtime_error("CompletionQueue: overrun (ring too small)");
+  }
+  cqe.owner = owner_for(produced_);
+  cqe.timestamp_ns = sim_.now();
+  memory_.write_obj(slot_addr(produced_), cqe);
+  ++produced_;
+  wake_waiters();
+}
+
+bool CompletionQueue::has_entry() const {
+  const Cqe slot = memory_.read_obj<Cqe>(slot_addr(consumed_));
+  return slot.owner == owner_for(consumed_);
+}
+
+std::optional<Cqe> CompletionQueue::poll() {
+  const Cqe slot = memory_.read_obj<Cqe>(slot_addr(consumed_));
+  if (slot.owner != owner_for(consumed_)) return std::nullopt;
+  ++consumed_;
+  return slot;
+}
+
+void CompletionQueue::wake_waiters() {
+  if (waiters_.empty()) return;
+  std::vector<Waiter> batch;
+  batch.swap(waiters_);
+  for (const Waiter& w : batch) {
+    // The guest notices the completion only once its VCPU is back on the
+    // PCPU; a capped, descheduled VM observes it late.
+    const sim::SimTime wake = w.vcpu->next_active(sim_.now());
+    sim_.schedule_at(wake, [h = w.handle] { h.resume(); });
+  }
+}
+
+}  // namespace resex::fabric

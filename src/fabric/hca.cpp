@@ -1,0 +1,354 @@
+#include "fabric/hca.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace resex::fabric {
+
+namespace {
+/// Wire size of an RDMA-read request (header-only packet).
+constexpr std::uint32_t kReadRequestBytes = 64;
+}  // namespace
+
+Hca::Hca(Fabric& fabric, hv::Node& node, std::uint32_t hca_id)
+    : fabric_(&fabric), node_(&node), id_(hca_id) {
+  auto& sim = fabric.simulation();
+  uplink_ = std::make_unique<Channel>(sim, fabric.config(),
+                                      node.name() + "/up");
+  downlink_ = std::make_unique<Channel>(sim, fabric.config(),
+                                        node.name() + "/down");
+  uplink_->set_sink([f = fabric_](detail::Packet p) { f->route(std::move(p)); });
+  downlink_->set_sink([this](detail::Packet p) { on_packet(std::move(p)); });
+}
+
+std::uint32_t Hca::alloc_pd(hv::Domain& domain) {
+  const std::uint32_t pd = next_pd_++;
+  pd_owner_.emplace(pd, &domain);
+  return pd;
+}
+
+mem::RegisteredRegion Hca::reg_mr(std::uint32_t pd, hv::Domain& domain,
+                                  mem::GuestAddr addr, std::size_t length,
+                                  mem::Access access) {
+  const auto it = pd_owner_.find(pd);
+  if (it == pd_owner_.end() || it->second != &domain) {
+    throw std::invalid_argument("Hca::reg_mr: PD does not belong to domain");
+  }
+  if (addr + length > domain.memory().size_bytes()) {
+    throw mem::BadGuestAccess("Hca::reg_mr: region beyond guest memory");
+  }
+  const auto region = tpt_.register_region(pd, addr, length, access);
+  mr_owner_.emplace(region.lkey, &domain);
+  return region;
+}
+
+bool Hca::dereg_mr(mem::MemKey key) {
+  if (!tpt_.deregister_region(key)) return false;
+  mr_owner_.erase(key);
+  return true;
+}
+
+CompletionQueue& Hca::create_cq(hv::Domain& domain, std::uint32_t entries) {
+  const std::size_t ring_bytes = std::size_t{entries} * sizeof(Cqe);
+  const std::size_t pages =
+      (ring_bytes + mem::kPageSize - 1) / mem::kPageSize;
+  const mem::GuestAddr base = domain.allocator().allocate_pages(pages);
+  cqs_.push_back(std::make_unique<CompletionQueue>(
+      fabric_->simulation(), domain.memory(), base, entries,
+      fabric_->next_cq_id()));
+  cq_domain_.emplace(cqs_.back()->id(), domain.id());
+  return *cqs_.back();
+}
+
+QueuePair& Hca::create_qp(hv::Domain& domain, std::uint32_t pd,
+                          CompletionQueue& send_cq,
+                          CompletionQueue& recv_cq) {
+  const auto it = pd_owner_.find(pd);
+  if (it == pd_owner_.end() || it->second != &domain) {
+    throw std::invalid_argument("Hca::create_qp: PD does not belong to domain");
+  }
+  qps_.push_back(std::make_unique<QueuePair>(fabric_->next_qp_num(), *this,
+                                             domain, pd, send_cq, recv_cq));
+  QueuePair& qp = *qps_.back();
+  // Carve the send-queue ring and a UAR page (doorbell record at offset 0)
+  // out of the guest's memory: the real post path writes these bytes.
+  constexpr std::uint32_t kSqEntries = 128;
+  const mem::GuestAddr sq_base = domain.allocator().allocate(
+      std::size_t{kSqEntries} * kSqSlotBytes, mem::kPageSize);
+  const mem::GuestAddr uar = domain.allocator().allocate_pages(1);
+  qp.set_send_queue(sq_base, kSqEntries, uar);
+  return qp;
+}
+
+std::vector<CompletionQueue*> Hca::domain_cqs(hv::DomainId id) {
+  std::vector<CompletionQueue*> out;
+  for (auto& cq : cqs_) {
+    const auto it = cq_domain_.find(cq->id());
+    if (it != cq_domain_.end() && it->second == id) out.push_back(cq.get());
+  }
+  return out;
+}
+
+void Hca::validate_post(const QueuePair& qp, const SendWr& wr) const {
+  if (qp.state() != QpState::kReadyToSend) {
+    throw std::logic_error("Hca::post_send: QP not connected");
+  }
+  if (wr.header.size() > wr.length && wr.length != 0) {
+    throw std::invalid_argument("Hca::post_send: header longer than message");
+  }
+}
+
+void Hca::post_send(QueuePair& qp, SendWr wr) {
+  validate_post(qp, wr);
+  const auto& cfg = fabric_->config();
+  fabric_->simulation().schedule_in(
+      cfg.doorbell_latency + cfg.wqe_processing,
+      [this, &qp, wr = std::move(wr)]() mutable {
+        process_wqe(qp, std::move(wr));
+      });
+}
+
+void Hca::ring_doorbell(QueuePair& qp) {
+  // From here on, no guest CPU is involved: after the pickup latency the
+  // HCA reads the doorbell record and the announced WQEs out of guest
+  // memory on its own.
+  const auto& cfg = fabric_->config();
+  fabric_->simulation().schedule_in(
+      cfg.doorbell_latency + cfg.wqe_processing, [this, &qp] {
+        const std::uint64_t announced = qp.doorbell_value();
+        while (qp.sq_fetched() < announced) {
+          process_wqe(qp, qp.fetch_wqe(qp.sq_fetched()));
+        }
+      });
+}
+
+void Hca::process_wqe(QueuePair& qp, SendWr wr) {
+  // Local buffer validation. RDMA-read needs local *write* rights (response
+  // data lands in the local buffer); everything else only needs a valid,
+  // in-bounds registration.
+  const mem::Access required = wr.opcode == Opcode::kRdmaRead
+                                   ? mem::Access::kLocalWrite
+                                   : mem::Access::kNone;
+  const auto status = tpt_.validate(wr.lkey, qp.pd(), wr.local_addr,
+                                    wr.length, required, /*check_pd=*/true);
+  if (status != mem::TptStatus::kOk) {
+    detail::Transfer failed{std::move(wr), &qp, qp.peer(), 0, 0, 0, false};
+    complete_send(failed, CqeStatus::kLocalProtectionError);
+    return;
+  }
+  start_transfer(qp, *qp.peer(), std::move(wr), /*read_response=*/false);
+}
+
+void Hca::start_transfer(QueuePair& src, QueuePair& dst, SendWr wr,
+                         bool read_response) {
+  const auto& cfg = fabric_->config();
+  auto t = std::make_shared<detail::Transfer>();
+  const bool is_read_request =
+      wr.opcode == Opcode::kRdmaRead && !read_response;
+  t->wire_length = is_read_request ? kReadRequestBytes
+                                   : std::max<std::uint32_t>(wr.length, 1);
+  t->wr = std::move(wr);
+  t->src_qp = &src;
+  t->dst_qp = &dst;
+  t->total_packets = cfg.packets_for(t->wire_length);
+  t->read_response = read_response;
+  src.account_sent(t->wire_length);
+
+  for (std::uint32_t i = 0; i < t->total_packets; ++i) {
+    const std::uint64_t offset = std::uint64_t{i} * cfg.mtu_bytes;
+    const auto bytes = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        cfg.mtu_bytes, t->wire_length - offset));
+    uplink_->enqueue(detail::Packet{t, i, bytes});
+  }
+}
+
+void Hca::on_packet(detail::Packet pkt) {
+  if (++pkt.transfer->delivered_packets < pkt.transfer->total_packets) {
+    return;
+  }
+  deliver(pkt.transfer);
+}
+
+void Hca::deliver(const std::shared_ptr<detail::Transfer>& t) {
+  if (t->read_response) {
+    // Response data arrived at the requester: local DMA done, complete.
+    complete_send(*t, CqeStatus::kSuccess);
+    return;
+  }
+  switch (t->wr.opcode) {
+    case Opcode::kRdmaWrite:
+      deliver_write(t, /*with_imm=*/false);
+      break;
+    case Opcode::kRdmaWriteWithImm:
+      deliver_write(t, /*with_imm=*/true);
+      break;
+    case Opcode::kSend:
+      deliver_send(t);
+      break;
+    case Opcode::kRdmaRead:
+      serve_read(*t);
+      break;
+  }
+}
+
+bool Hca::retry_rnr(const std::shared_ptr<detail::Transfer>& t) {
+  const auto& cfg = fabric_->config();
+  if (cfg.rnr_retry_limit != FabricConfig::kInfiniteRnrRetry &&
+      t->rnr_retries_used >= cfg.rnr_retry_limit) {
+    return false;
+  }
+  ++t->rnr_retries_used;
+  fabric_->simulation().schedule_in(cfg.rnr_retry_delay,
+                                    [this, t] { deliver(t); });
+  return true;
+}
+
+void Hca::deliver_write(const std::shared_ptr<detail::Transfer>& t,
+                        bool with_imm) {
+  // Validate the remote key against *this* HCA's TPT (we are the target).
+  const auto status =
+      tpt_.validate(t->wr.rkey, /*pd=*/0, t->wr.remote_addr, t->wr.length,
+                    mem::Access::kRemoteWrite, /*check_pd=*/false);
+  if (status != mem::TptStatus::kOk) {
+    complete_send(*t, CqeStatus::kRemoteAccessError);
+    return;
+  }
+  std::optional<RecvWr> recv;
+  if (with_imm) {
+    recv = t->dst_qp->consume_recv();
+    if (!recv) {
+      // Receiver not ready: NAK + retry later, like an RC HCA.
+      if (!retry_rnr(t)) complete_send(*t, CqeStatus::kRnrRetryExceeded);
+      return;
+    }
+  }
+  const auto owner = mr_owner_.find(t->wr.rkey);
+  if (owner == mr_owner_.end()) {
+    complete_send(*t, CqeStatus::kRemoteAccessError);
+    return;
+  }
+  dma_header(*owner->second, t->wr.remote_addr, t->wr.header);
+  if (with_imm) {
+    Cqe cqe;
+    cqe.wr_id = recv->wr_id;
+    cqe.qp_num = t->dst_qp->num();
+    cqe.byte_len = t->wr.length;
+    cqe.imm_data = t->wr.imm_data;
+    cqe.opcode = static_cast<std::uint8_t>(CqeOpcode::kRecvRdmaWithImm);
+    cqe.status = static_cast<std::uint8_t>(CqeStatus::kSuccess);
+    t->dst_qp->recv_cq().produce(cqe);
+  }
+  complete_send(*t, CqeStatus::kSuccess);
+}
+
+void Hca::deliver_send(const std::shared_ptr<detail::Transfer>& tp) {
+  detail::Transfer& t = *tp;
+  const auto recv = t.dst_qp->consume_recv();
+  if (!recv) {
+    if (!retry_rnr(tp)) complete_send(t, CqeStatus::kRnrRetryExceeded);
+    return;
+  }
+  if (recv->length < t.wr.length) {
+    // Receive buffer too small: both sides see the failure.
+    Cqe cqe;
+    cqe.wr_id = recv->wr_id;
+    cqe.qp_num = t.dst_qp->num();
+    cqe.byte_len = t.wr.length;
+    cqe.opcode = static_cast<std::uint8_t>(CqeOpcode::kRecv);
+    cqe.status = static_cast<std::uint8_t>(CqeStatus::kLocalLengthError);
+    t.dst_qp->recv_cq().produce(cqe);
+    complete_send(t, CqeStatus::kLocalLengthError);
+    return;
+  }
+  const auto status =
+      tpt_.validate(recv->lkey, t.dst_qp->pd(), recv->addr, t.wr.length,
+                    mem::Access::kLocalWrite, /*check_pd=*/true);
+  if (status != mem::TptStatus::kOk) {
+    complete_send(t, CqeStatus::kRemoteAccessError);
+    return;
+  }
+  const auto owner = mr_owner_.find(recv->lkey);
+  if (owner != mr_owner_.end()) {
+    dma_header(*owner->second, recv->addr, t.wr.header);
+  }
+  Cqe cqe;
+  cqe.wr_id = recv->wr_id;
+  cqe.qp_num = t.dst_qp->num();
+  cqe.byte_len = t.wr.length;
+  cqe.imm_data = t.wr.imm_data;
+  cqe.opcode = static_cast<std::uint8_t>(CqeOpcode::kRecv);
+  cqe.status = static_cast<std::uint8_t>(CqeStatus::kSuccess);
+  t.dst_qp->recv_cq().produce(cqe);
+  complete_send(t, CqeStatus::kSuccess);
+}
+
+void Hca::serve_read(detail::Transfer& t) {
+  // We are the read target: validate and autonomously stream the response —
+  // zero CPU on this node, the defining RDMA property.
+  const auto status =
+      tpt_.validate(t.wr.rkey, /*pd=*/0, t.wr.remote_addr, t.wr.length,
+                    mem::Access::kRemoteRead, /*check_pd=*/false);
+  if (status != mem::TptStatus::kOk) {
+    complete_send(t, CqeStatus::kRemoteAccessError);
+    return;
+  }
+  start_transfer(*t.dst_qp, *t.src_qp, t.wr, /*read_response=*/true);
+}
+
+void Hca::complete_send(detail::Transfer& t, CqeStatus status) {
+  // For read responses the "sender" to complete is the original requester
+  // (dst of the response transfer is the requester's QP and the CQE must
+  // land there). For everything else it is the transfer's source QP on the
+  // origin node.
+  QueuePair* target = t.read_response ? t.dst_qp : t.src_qp;
+  if (status == CqeStatus::kSuccess && !t.wr.signaled) return;
+
+  const auto& cfg = fabric_->config();
+  Cqe cqe;
+  cqe.wr_id = t.wr.wr_id;
+  cqe.qp_num = target->num();
+  cqe.byte_len = t.wr.length;
+  cqe.imm_data = t.wr.imm_data;
+  cqe.opcode = static_cast<std::uint8_t>(
+      t.wr.opcode == Opcode::kRdmaRead ? CqeOpcode::kRdmaReadComplete
+                                       : CqeOpcode::kSendComplete);
+  cqe.status = static_cast<std::uint8_t>(status);
+  // The ACK travels back to the sender before the CQE is DMA-written.
+  fabric_->simulation().schedule_in(
+      cfg.ack_delay + cfg.completion_dma,
+      [cq = &target->send_cq(), cqe] { cq->produce(cqe); });
+}
+
+void Hca::dma_header(hv::Domain& domain, mem::GuestAddr addr,
+                     const std::vector<std::byte>& header) {
+  if (header.empty()) return;
+  domain.memory().write(addr, header);
+}
+
+Fabric::Fabric(sim::Simulation& sim, FabricConfig config)
+    : sim_(sim), config_(config) {
+  if (config_.mtu_bytes == 0 || config_.link_bytes_per_sec <= 0.0) {
+    throw std::invalid_argument("Fabric: bad config");
+  }
+}
+
+Hca& Fabric::add_node(hv::Node& node) {
+  hcas_.push_back(std::make_unique<Hca>(
+      *this, node, static_cast<std::uint32_t>(hcas_.size())));
+  return *hcas_.back();
+}
+
+void Fabric::connect(QueuePair& a, QueuePair& b) {
+  a.set_peer(b);
+  b.set_peer(a);
+}
+
+void Fabric::route(detail::Packet pkt) {
+  // The destination port's downlink is determined by the QP the transfer is
+  // addressed to (dst_qp is always the receiving end, including for read
+  // responses).
+  Hca& dst = pkt.transfer->dst_qp->hca();
+  dst.downlink().enqueue(std::move(pkt));
+}
+
+}  // namespace resex::fabric

@@ -1,0 +1,151 @@
+#pragma once
+// Host Channel Adapter model.
+//
+// The HCA owns the node's TPT, its CQs and QPs, and the two link channels
+// (uplink to the switch, downlink from it). The data path is autonomous:
+// once a WQE is picked up from a doorbell, segmentation, transmission, DMA
+// and completion generation proceed with no guest or hypervisor CPU — the
+// VMM-bypass property that motivates the paper (the hypervisor cannot see or
+// throttle this path directly).
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/channel.hpp"
+#include "fabric/completion_queue.hpp"
+#include "fabric/queue_pair.hpp"
+#include "fabric/types.hpp"
+#include "hv/node.hpp"
+#include "mem/tpt.hpp"
+
+namespace resex::fabric {
+
+class Fabric;
+
+class Hca {
+ public:
+  Hca(Fabric& fabric, hv::Node& node, std::uint32_t hca_id);
+
+  Hca(const Hca&) = delete;
+  Hca& operator=(const Hca&) = delete;
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] hv::Node& node() noexcept { return *node_; }
+  [[nodiscard]] Fabric& fabric() noexcept { return *fabric_; }
+  [[nodiscard]] mem::Tpt& tpt() noexcept { return tpt_; }
+  [[nodiscard]] Channel& uplink() noexcept { return *uplink_; }
+  [[nodiscard]] Channel& downlink() noexcept { return *downlink_; }
+
+  // --- control path (invoked via Verbs, which charges split-driver costs) ---
+
+  /// Allocate a protection domain for a guest.
+  [[nodiscard]] std::uint32_t alloc_pd(hv::Domain& domain);
+
+  /// Register a guest buffer (pin + TPT entry).
+  [[nodiscard]] mem::RegisteredRegion reg_mr(std::uint32_t pd,
+                                             hv::Domain& domain,
+                                             mem::GuestAddr addr,
+                                             std::size_t length,
+                                             mem::Access access);
+  bool dereg_mr(mem::MemKey key);
+
+  /// Create a completion queue whose ring lives in the guest's memory.
+  [[nodiscard]] CompletionQueue& create_cq(hv::Domain& domain,
+                                           std::uint32_t entries);
+
+  /// Create a queue pair bound to the given CQs.
+  [[nodiscard]] QueuePair& create_qp(hv::Domain& domain, std::uint32_t pd,
+                                     CompletionQueue& send_cq,
+                                     CompletionQueue& recv_cq);
+
+  /// CQs belonging to a domain (the dom0 backend knows this mapping; IBMon
+  /// uses it to find the rings to introspect).
+  [[nodiscard]] std::vector<CompletionQueue*> domain_cqs(hv::DomainId id);
+
+  // --- data path --------------------------------------------------------------
+
+  /// Synchronous validation a post must pass (connected QP, sane header).
+  void validate_post(const QueuePair& qp, const SendWr& wr) const;
+
+  /// Direct WQE injection, bypassing the guest-memory SQ ring (kept for
+  /// unit tests and tools; applications go through Verbs::post_send, which
+  /// writes the real ring + doorbell).
+  void post_send(QueuePair& qp, SendWr wr);
+
+  /// Doorbell rung: after the pickup latency, fetch every WQE the doorbell
+  /// record announces from the SQ ring in guest memory and process it.
+  void ring_doorbell(QueuePair& qp);
+
+  /// Incoming packet from the downlink.
+  void on_packet(detail::Packet pkt);
+
+ private:
+  friend class Fabric;
+
+  void process_wqe(QueuePair& qp, SendWr wr);
+  void start_transfer(QueuePair& src, QueuePair& dst, SendWr wr,
+                      bool read_response);
+  void complete_send(detail::Transfer& t, CqeStatus status);
+  void deliver(const std::shared_ptr<detail::Transfer>& t);
+  void deliver_write(const std::shared_ptr<detail::Transfer>& t,
+                     bool with_imm);
+  void deliver_send(const std::shared_ptr<detail::Transfer>& t);
+  void serve_read(detail::Transfer& t);
+  /// Schedule an RNR retry for `t` if budget remains; returns true if a
+  /// retry was scheduled (the caller must not complete the transfer).
+  bool retry_rnr(const std::shared_ptr<detail::Transfer>& t);
+  void dma_header(hv::Domain& domain, mem::GuestAddr addr,
+                  const std::vector<std::byte>& header);
+
+  Fabric* fabric_;
+  hv::Node* node_;
+  std::uint32_t id_;
+  mem::Tpt tpt_;
+  std::unordered_map<std::uint32_t, hv::Domain*> pd_owner_;
+  std::unordered_map<mem::MemKey, hv::Domain*> mr_owner_;
+  std::unique_ptr<Channel> uplink_;
+  std::unique_ptr<Channel> downlink_;
+  std::deque<std::unique_ptr<CompletionQueue>> cqs_;
+  std::unordered_map<std::uint32_t, hv::DomainId> cq_domain_;
+  std::deque<std::unique_ptr<QueuePair>> qps_;
+  std::uint32_t next_pd_ = 1;
+};
+
+/// The fabric: configuration, the switch, and the set of attached HCAs.
+class Fabric {
+ public:
+  explicit Fabric(sim::Simulation& sim, FabricConfig config = {});
+
+  [[nodiscard]] sim::Simulation& simulation() noexcept { return sim_; }
+  [[nodiscard]] const FabricConfig& config() const noexcept { return config_; }
+
+  /// Attach a node to the switch; creates its HCA and both link channels.
+  Hca& add_node(hv::Node& node);
+
+  /// Connect two queue pairs point-to-point (RC semantics).
+  static void connect(QueuePair& a, QueuePair& b);
+
+  [[nodiscard]] QpNum next_qp_num() noexcept { return next_qp_++; }
+  [[nodiscard]] std::uint32_t next_cq_id() noexcept { return next_cq_++; }
+
+  [[nodiscard]] std::size_t hca_count() const noexcept {
+    return hcas_.size();
+  }
+  [[nodiscard]] Hca& hca(std::size_t i) { return *hcas_.at(i); }
+
+ private:
+  friend class Hca;
+  /// Switch routing: uplink packets go to the destination HCA's downlink.
+  void route(detail::Packet pkt);
+
+  sim::Simulation& sim_;
+  FabricConfig config_;
+  std::vector<std::unique_ptr<Hca>> hcas_;
+  QpNum next_qp_ = 1;
+  std::uint32_t next_cq_ = 1;
+};
+
+}  // namespace resex::fabric

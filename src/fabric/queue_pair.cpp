@@ -1,0 +1,74 @@
+#include "fabric/queue_pair.hpp"
+
+#include <stdexcept>
+
+namespace resex::fabric {
+
+namespace {
+mem::GuestMemory& memory_of(hv::Domain& domain) { return domain.memory(); }
+}  // namespace
+
+void QueuePair::write_wqe(const SendWr& wr) {
+  if (sq_entries_ == 0) {
+    throw std::logic_error("QueuePair: no send queue installed");
+  }
+  if (wr.header.size() > kMaxInlineBytes) {
+    throw std::invalid_argument(
+        "QueuePair: inline header exceeds WQE inline capacity");
+  }
+  if (sq_produced_ - sq_fetched_ >= sq_entries_) {
+    throw std::runtime_error("QueuePair: send queue overflow");
+  }
+  Wqe wqe;
+  wqe.wr_id = wr.wr_id;
+  wqe.local_addr = wr.local_addr;
+  wqe.remote_addr = wr.remote_addr;
+  wqe.length = wr.length;
+  wqe.lkey = wr.lkey;
+  wqe.rkey = wr.rkey;
+  wqe.imm_data = wr.imm_data;
+  wqe.opcode = static_cast<std::uint8_t>(wr.opcode);
+  wqe.flags = wr.signaled ? Wqe::kFlagSignaled : 0;
+  wqe.inline_len = static_cast<std::uint16_t>(wr.header.size());
+
+  auto& memory = memory_of(*domain_);
+  const mem::GuestAddr slot =
+      sq_base_ + (sq_produced_ % sq_entries_) * kSqSlotBytes;
+  memory.write_obj(slot, wqe);
+  if (!wr.header.empty()) {
+    memory.write(slot + sizeof(Wqe), wr.header);
+  }
+  ++sq_produced_;
+  // Ring the doorbell: the producer count lands in the UAR page, which is
+  // what the HCA reads to learn how far to fetch.
+  memory.write_obj(doorbell_addr_, sq_produced_);
+}
+
+std::uint64_t QueuePair::doorbell_value() const {
+  return memory_of(*domain_).read_obj<std::uint64_t>(doorbell_addr_);
+}
+
+SendWr QueuePair::fetch_wqe(std::uint64_t index) {
+  auto& memory = memory_of(*domain_);
+  const mem::GuestAddr slot = sq_base_ + (index % sq_entries_) * kSqSlotBytes;
+  const auto wqe = memory.read_obj<Wqe>(slot);
+  SendWr wr;
+  wr.wr_id = wqe.wr_id;
+  wr.opcode = static_cast<Opcode>(wqe.opcode);
+  wr.local_addr = wqe.local_addr;
+  wr.lkey = wqe.lkey;
+  wr.length = wqe.length;
+  wr.remote_addr = wqe.remote_addr;
+  wr.rkey = wqe.rkey;
+  wr.imm_data = wqe.imm_data;
+  wr.signaled = (wqe.flags & Wqe::kFlagSignaled) != 0;
+  if (wqe.inline_len > kMaxInlineBytes) {
+    throw std::runtime_error("QueuePair: corrupt WQE inline length");
+  }
+  wr.header.resize(wqe.inline_len);
+  memory.read(slot + sizeof(Wqe), wr.header);
+  if (index >= sq_fetched_) sq_fetched_ = index + 1;
+  return wr;
+}
+
+}  // namespace resex::fabric

@@ -1,0 +1,16 @@
+#include "fabric/types.hpp"
+
+namespace resex::fabric {
+
+const char* to_string(CqeStatus s) noexcept {
+  switch (s) {
+    case CqeStatus::kSuccess: return "success";
+    case CqeStatus::kLocalProtectionError: return "local-protection-error";
+    case CqeStatus::kRemoteAccessError: return "remote-access-error";
+    case CqeStatus::kRnrRetryExceeded: return "rnr-retry-exceeded";
+    case CqeStatus::kLocalLengthError: return "local-length-error";
+  }
+  return "unknown";
+}
+
+}  // namespace resex::fabric

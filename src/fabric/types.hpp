@@ -1,0 +1,186 @@
+#pragma once
+// Common types for the InfiniBand fabric model: work requests, wire-format
+// completion queue entries, packets, and the fabric configuration.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/guest_memory.hpp"
+#include "sim/time.hpp"
+
+namespace resex::fabric {
+
+/// Fabric-unique queue pair number.
+using QpNum = std::uint32_t;
+
+/// Verb opcodes supported by the model.
+enum class Opcode : std::uint8_t {
+  kRdmaWrite = 1,
+  kRdmaWriteWithImm = 2,
+  kSend = 3,
+  kRdmaRead = 4,
+};
+
+/// Completion opcodes as they appear in CQEs.
+enum class CqeOpcode : std::uint8_t {
+  kSendComplete = 1,   // local completion of any send-side verb
+  kRecv = 2,           // incoming SEND consumed a receive WQE
+  kRecvRdmaWithImm = 3,  // incoming RDMA-write-with-immediate
+  kRdmaReadComplete = 4,
+};
+
+/// Completion status codes (subset of ibv_wc_status).
+enum class CqeStatus : std::uint8_t {
+  kSuccess = 0,
+  kLocalProtectionError = 1,  // lkey validation failed
+  kRemoteAccessError = 2,     // rkey validation failed at the target
+  kRnrRetryExceeded = 3,      // no receive WQE posted at the target
+  kLocalLengthError = 4,      // receive buffer too small for incoming data
+};
+
+[[nodiscard]] const char* to_string(CqeStatus s) noexcept;
+
+/// Completion Queue Entry — the exact 32-byte wire format the HCA DMA-writes
+/// into guest memory. IBMon parses these bytes through a foreign mapping, so
+/// the layout is part of the "hardware" contract.
+struct Cqe {
+  std::uint64_t wr_id = 0;
+  std::uint32_t qp_num = 0;
+  std::uint32_t byte_len = 0;
+  std::uint32_t imm_data = 0;
+  std::uint8_t opcode = 0;   // CqeOpcode
+  std::uint8_t status = 0;   // CqeStatus
+  std::uint8_t owner = 0;    // validity: toggles with each ring lap
+  std::uint8_t reserved = 0;
+  std::uint64_t timestamp_ns = 0;  // HCA completion timestamp
+};
+static_assert(sizeof(Cqe) == 32, "CQE wire format must be 32 bytes");
+static_assert(std::is_trivially_copyable_v<Cqe>);
+
+/// Send-queue WQE wire format: the 64-byte base segment the guest writes
+/// into its SQ ring in guest memory and the HCA fetches after a doorbell.
+/// Message headers travel as an inline-data segment right after the base
+/// (up to kMaxInlineBytes), so posted requests genuinely round-trip through
+/// guest pages.
+struct Wqe {
+  std::uint64_t wr_id = 0;
+  std::uint64_t local_addr = 0;
+  std::uint64_t remote_addr = 0;
+  std::uint32_t length = 0;
+  std::uint32_t lkey = 0;
+  std::uint32_t rkey = 0;
+  std::uint32_t imm_data = 0;
+  std::uint8_t opcode = 0;
+  std::uint8_t flags = 0;  // bit 0: signaled
+  std::uint16_t inline_len = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t pad[2] = {0, 0};
+
+  static constexpr std::uint8_t kFlagSignaled = 1;
+};
+static_assert(sizeof(Wqe) == 64, "WQE base segment must be 64 bytes");
+static_assert(std::is_trivially_copyable_v<Wqe>);
+
+/// SQ ring slot: 64-byte base segment + inline data area.
+inline constexpr std::size_t kSqSlotBytes = 256;
+inline constexpr std::size_t kMaxInlineBytes = kSqSlotBytes - sizeof(Wqe);
+
+/// A send-side work request, as passed to post_send.
+struct SendWr {
+  std::uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kRdmaWrite;
+  mem::GuestAddr local_addr = 0;
+  std::uint32_t lkey = 0;
+  std::uint32_t length = 0;
+  mem::GuestAddr remote_addr = 0;
+  std::uint32_t rkey = 0;
+  std::uint32_t imm_data = 0;
+  bool signaled = true;
+  /// Optional leading payload bytes that are really DMA-written at the
+  /// destination (message headers). The remaining `length - header.size()`
+  /// bytes are accounted for in timing and CQE byte_len but not copied —
+  /// bulk payload content is irrelevant to the experiments while headers
+  /// must round-trip exactly.
+  std::vector<std::byte> header;
+};
+
+/// A receive-side work request.
+struct RecvWr {
+  std::uint64_t wr_id = 0;
+  mem::GuestAddr addr = 0;
+  std::uint32_t lkey = 0;
+  std::uint32_t length = 0;
+};
+
+/// Fabric timing/geometry parameters. Defaults model the paper's testbed:
+/// Mellanox MT25208 HCAs on an 8 Gb/s effective (10 Gb/s signalled, 8b/10b)
+/// link through a Xsigo VP780 switch, 1 KiB MTU.
+struct FabricConfig {
+  std::uint32_t mtu_bytes = 1024;
+  /// Effective data bandwidth per link direction, bytes per second.
+  double link_bytes_per_sec = 1024.0 * 1024.0 * 1024.0;  // 1 GiB/s
+  sim::SimDuration propagation_delay = 200;     // cable + switch hop, ns
+  sim::SimDuration doorbell_latency = 150;      // UAR write -> HCA pickup
+  sim::SimDuration wqe_processing = 250;        // HCA WQE fetch/parse
+  sim::SimDuration ack_delay = 500;             // last packet -> ACK at sender
+  sim::SimDuration completion_dma = 100;        // CQE DMA write cost
+  /// Receiver-not-ready handling (RC semantics): when a message needs a
+  /// receive WQE and none is posted, the target NAKs and the sender retries
+  /// after this delay, up to the retry limit. kInfiniteRnrRetry (IB's
+  /// retry_count=7 convention) retries forever.
+  sim::SimDuration rnr_retry_delay = 100 * sim::kMicrosecond;
+  static constexpr std::uint32_t kInfiniteRnrRetry = ~std::uint32_t{0};
+  std::uint32_t rnr_retry_limit = kInfiniteRnrRetry;
+  /// CPU cost for the guest to notice/parse one CQE when polling.
+  sim::SimDuration poll_check_cost = 200;
+  /// CPU cost to build + post one WQE (doorbell write included).
+  sim::SimDuration post_cost = 300;
+
+  [[nodiscard]] double ns_per_byte() const noexcept {
+    return 1e9 / link_bytes_per_sec;
+  }
+  [[nodiscard]] sim::SimDuration serialization_time(
+      std::uint32_t bytes) const noexcept {
+    return static_cast<sim::SimDuration>(static_cast<double>(bytes) *
+                                         ns_per_byte());
+  }
+  /// Number of MTU packets a message of `bytes` occupies (minimum 1).
+  [[nodiscard]] std::uint32_t packets_for(std::uint32_t bytes) const noexcept {
+    if (bytes == 0) return 1;
+    return (bytes + mtu_bytes - 1) / mtu_bytes;
+  }
+};
+
+class QueuePair;
+
+namespace detail {
+/// An in-flight message (one WQE's worth of data) being segmented into
+/// packets and reassembled at the destination.
+struct Transfer {
+  SendWr wr;
+  QueuePair* src_qp = nullptr;
+  QueuePair* dst_qp = nullptr;
+  /// Bytes on the wire: equals wr.length for data-carrying ops, but a small
+  /// constant for RDMA-read *requests* (the data flows in the response).
+  std::uint32_t wire_length = 0;
+  std::uint32_t total_packets = 0;
+  std::uint32_t delivered_packets = 0;
+  /// True for the data-bearing half of an RDMA read (target -> requester).
+  bool read_response = false;
+  /// RNR retries already spent at the target.
+  std::uint32_t rnr_retries_used = 0;
+};
+
+/// One MTU on the wire.
+struct Packet {
+  std::shared_ptr<Transfer> transfer;
+  std::uint32_t index = 0;  // 0-based packet number within the transfer
+  std::uint32_t bytes = 0;
+  [[nodiscard]] bool last() const noexcept {
+    return index + 1 == transfer->total_packets;
+  }
+};
+}  // namespace detail
+
+}  // namespace resex::fabric

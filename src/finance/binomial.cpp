@@ -1,0 +1,51 @@
+#include "finance/binomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace resex::finance {
+
+double binomial_price(const OptionSpec& o, int steps, ExerciseStyle style) {
+  validate(o);
+  if (steps < 1) throw BadOption("binomial_price: steps must be >= 1");
+
+  const double dt = o.expiry / steps;
+  const double u = std::exp(o.vol * std::sqrt(dt));
+  const double d = 1.0 / u;
+  const double growth = std::exp(o.rate * dt);
+  const double p = (growth - d) / (u - d);
+  if (p <= 0.0 || p >= 1.0) {
+    throw BadOption("binomial_price: degenerate risk-neutral probability "
+                    "(too few steps for these parameters)");
+  }
+  const double discount = 1.0 / growth;
+
+  auto payoff = [&](double spot) {
+    return o.type == OptionType::kCall ? std::max(spot - o.strike, 0.0)
+                                       : std::max(o.strike - spot, 0.0);
+  };
+
+  // Terminal layer.
+  std::vector<double> values(static_cast<std::size_t>(steps) + 1);
+  for (int i = 0; i <= steps; ++i) {
+    const double spot = o.spot * std::pow(u, steps - i) * std::pow(d, i);
+    values[static_cast<std::size_t>(i)] = payoff(spot);
+  }
+
+  // Backward induction.
+  for (int step = steps - 1; step >= 0; --step) {
+    for (int i = 0; i <= step; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      double v = discount * (p * values[idx] + (1.0 - p) * values[idx + 1]);
+      if (style == ExerciseStyle::kAmerican) {
+        const double spot = o.spot * std::pow(u, step - i) * std::pow(d, i);
+        v = std::max(v, payoff(spot));
+      }
+      values[idx] = v;
+    }
+  }
+  return values[0];
+}
+
+}  // namespace resex::finance

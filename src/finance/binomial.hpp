@@ -1,0 +1,16 @@
+#pragma once
+// Cox–Ross–Rubinstein binomial-tree pricing (European and American).
+
+#include "finance/black_scholes.hpp"
+
+namespace resex::finance {
+
+enum class ExerciseStyle { kEuropean, kAmerican };
+
+/// CRR binomial price with `steps` time steps. Converges to Black–Scholes
+/// for European options as steps grows; supports early exercise for
+/// American options (the case Black–Scholes cannot price).
+[[nodiscard]] double binomial_price(const OptionSpec& o, int steps,
+                                    ExerciseStyle style);
+
+}  // namespace resex::finance

@@ -1,0 +1,106 @@
+#include "finance/black_scholes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace resex::finance {
+
+namespace {
+constexpr double kInvSqrt2Pi = 0.3989422804014326779399461;
+constexpr double kInvSqrt2 = 0.7071067811865475244008444;
+
+struct D1D2 {
+  double d1;
+  double d2;
+};
+
+D1D2 d_terms(const OptionSpec& o) {
+  const double sig_sqrt_t = o.vol * std::sqrt(o.expiry);
+  const double d1 = (std::log(o.spot / o.strike) +
+                     (o.rate + 0.5 * o.vol * o.vol) * o.expiry) /
+                    sig_sqrt_t;
+  return {d1, d1 - sig_sqrt_t};
+}
+}  // namespace
+
+double norm_pdf(double x) noexcept {
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double norm_cdf(double x) noexcept { return 0.5 * std::erfc(-x * kInvSqrt2); }
+
+void validate(const OptionSpec& o) {
+  if (!(o.spot > 0.0)) throw BadOption("spot must be > 0");
+  if (!(o.strike > 0.0)) throw BadOption("strike must be > 0");
+  if (!(o.vol > 0.0)) throw BadOption("vol must be > 0");
+  if (!(o.expiry > 0.0)) throw BadOption("expiry must be > 0");
+}
+
+double price(const OptionSpec& o) {
+  validate(o);
+  const auto [d1, d2] = d_terms(o);
+  const double df = std::exp(-o.rate * o.expiry);
+  if (o.type == OptionType::kCall) {
+    return o.spot * norm_cdf(d1) - o.strike * df * norm_cdf(d2);
+  }
+  return o.strike * df * norm_cdf(-d2) - o.spot * norm_cdf(-d1);
+}
+
+Greeks greeks(const OptionSpec& o) {
+  validate(o);
+  const auto [d1, d2] = d_terms(o);
+  const double sqrt_t = std::sqrt(o.expiry);
+  const double df = std::exp(-o.rate * o.expiry);
+  const double pdf_d1 = norm_pdf(d1);
+
+  Greeks g;
+  g.gamma = pdf_d1 / (o.spot * o.vol * sqrt_t);
+  g.vega = o.spot * pdf_d1 * sqrt_t;
+  const double theta_common = -o.spot * pdf_d1 * o.vol / (2.0 * sqrt_t);
+  if (o.type == OptionType::kCall) {
+    g.delta = norm_cdf(d1);
+    g.theta = theta_common - o.rate * o.strike * df * norm_cdf(d2);
+    g.rho = o.strike * o.expiry * df * norm_cdf(d2);
+  } else {
+    g.delta = norm_cdf(d1) - 1.0;
+    g.theta = theta_common + o.rate * o.strike * df * norm_cdf(-d2);
+    g.rho = -o.strike * o.expiry * df * norm_cdf(-d2);
+  }
+  return g;
+}
+
+double implied_vol(const OptionSpec& spec, double observed_price, double tol,
+                   int max_iter) {
+  OptionSpec o = spec;
+  o.vol = 0.2;  // validation only cares that it is positive
+  validate(o);
+
+  // No-arbitrage bounds.
+  const double df = std::exp(-o.rate * o.expiry);
+  const double intrinsic = o.type == OptionType::kCall
+                               ? std::max(o.spot - o.strike * df, 0.0)
+                               : std::max(o.strike * df - o.spot, 0.0);
+  const double upper =
+      o.type == OptionType::kCall ? o.spot : o.strike * df;
+  if (observed_price < intrinsic - 1e-12 || observed_price > upper + 1e-12) {
+    throw BadOption("implied_vol: price violates no-arbitrage bounds");
+  }
+
+  // Newton iterations with vega as the derivative; fall back to bisection
+  // whenever Newton leaves the bracket or vega degenerates.
+  double lo = 1e-6, hi = 5.0;
+  double sigma = 0.2;
+  for (int i = 0; i < max_iter; ++i) {
+    o.vol = sigma;
+    const double diff = price(o) - observed_price;
+    if (std::abs(diff) < tol) return sigma;
+    (diff > 0.0 ? hi : lo) = sigma;
+    const double v = greeks(o).vega;
+    double next = v > 1e-10 ? sigma - diff / v : 0.0;
+    if (!(next > lo) || !(next < hi)) next = 0.5 * (lo + hi);
+    sigma = next;
+  }
+  return sigma;  // best effort at max_iter (price residual below tol rare)
+}
+
+}  // namespace resex::finance

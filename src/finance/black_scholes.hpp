@@ -1,0 +1,57 @@
+#pragma once
+// Black–Scholes option pricing and greeks.
+//
+// Replaces the paper's use of Ødegaard's finance routines [1] as BenchEx's
+// per-request processing workload. Analytic European pricing under constant
+// volatility and rates; implied volatility via Newton with a bisection
+// fallback.
+
+#include <stdexcept>
+
+namespace resex::finance {
+
+/// Standard normal density.
+[[nodiscard]] double norm_pdf(double x) noexcept;
+
+/// Standard normal CDF (via erfc; ~1e-15 accurate).
+[[nodiscard]] double norm_cdf(double x) noexcept;
+
+enum class OptionType { kCall, kPut };
+
+/// Market/contract inputs. spot/strike > 0, vol > 0, expiry (years) > 0.
+struct OptionSpec {
+  double spot = 100.0;
+  double strike = 100.0;
+  double rate = 0.05;      // continuously-compounded risk-free rate
+  double vol = 0.2;        // annualised volatility
+  double expiry = 1.0;     // years
+  OptionType type = OptionType::kCall;
+};
+
+/// Thrown for out-of-domain inputs.
+class BadOption : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+void validate(const OptionSpec& o);
+
+/// Black–Scholes price.
+[[nodiscard]] double price(const OptionSpec& o);
+
+/// First-order greeks (and gamma).
+struct Greeks {
+  double delta = 0.0;
+  double gamma = 0.0;
+  double vega = 0.0;   // per 1.0 of vol (not per percentage point)
+  double theta = 0.0;  // per year
+  double rho = 0.0;    // per 1.0 of rate
+};
+[[nodiscard]] Greeks greeks(const OptionSpec& o);
+
+/// Implied volatility from an observed price. Throws BadOption if the price
+/// is outside no-arbitrage bounds. `tol` is on the price residual.
+[[nodiscard]] double implied_vol(const OptionSpec& o, double observed_price,
+                                 double tol = 1e-10, int max_iter = 100);
+
+}  // namespace resex::finance

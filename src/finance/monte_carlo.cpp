@@ -1,0 +1,43 @@
+#include "finance/monte_carlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace resex::finance {
+
+McResult monte_carlo_price(const OptionSpec& o, std::size_t paths,
+                           sim::Rng& rng) {
+  validate(o);
+  if (paths == 0) throw BadOption("monte_carlo_price: paths must be > 0");
+
+  const double drift = (o.rate - 0.5 * o.vol * o.vol) * o.expiry;
+  const double diffusion = o.vol * std::sqrt(o.expiry);
+  const double df = std::exp(-o.rate * o.expiry);
+
+  auto payoff = [&](double z) {
+    const double terminal = o.spot * std::exp(drift + diffusion * z);
+    const double raw = o.type == OptionType::kCall ? terminal - o.strike
+                                                   : o.strike - terminal;
+    return std::max(raw, 0.0);
+  };
+
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t i = 0; i < paths; ++i) {
+    const double z = rng.normal();
+    // Antithetic pair averaged into one sample (variance reduction).
+    const double sample = 0.5 * (payoff(z) + payoff(-z));
+    sum += sample;
+    sum_sq += sample * sample;
+  }
+  const double n = static_cast<double>(paths);
+  const double mean = sum / n;
+  const double var = std::max(sum_sq / n - mean * mean, 0.0);
+
+  McResult r;
+  r.price = df * mean;
+  r.std_error = df * std::sqrt(var / n);
+  r.paths = paths;
+  return r;
+}
+
+}  // namespace resex::finance

@@ -1,0 +1,21 @@
+#pragma once
+// Monte Carlo option pricing under geometric Brownian motion, with
+// antithetic variates. Used for the heavier BenchEx request classes.
+
+#include "finance/black_scholes.hpp"
+#include "sim/rng.hpp"
+
+namespace resex::finance {
+
+struct McResult {
+  double price = 0.0;
+  double std_error = 0.0;
+  std::size_t paths = 0;
+};
+
+/// Price a European option with `paths` GBM terminal draws (each draw also
+/// uses its antithetic mirror, so 2*paths payoffs are averaged).
+[[nodiscard]] McResult monte_carlo_price(const OptionSpec& o,
+                                         std::size_t paths, sim::Rng& rng);
+
+}  // namespace resex::finance

@@ -1,0 +1,46 @@
+#pragma once
+// A Xen domain: guest memory + one VCPU (the paper's configuration).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hv/vcpu.hpp"
+#include "mem/guest_memory.hpp"
+
+namespace resex::hv {
+
+using DomainId = std::uint32_t;
+
+class Domain {
+ public:
+  Domain(sim::Simulation& sim, DomainId id, std::string name,
+         std::size_t mem_pages, SliceSchedule initial_schedule)
+      : id_(id), name_(std::move(name)), memory_(mem_pages),
+        allocator_(memory_),
+        vcpu_(std::make_unique<Vcpu>(sim, id, initial_schedule)) {}
+
+  [[nodiscard]] DomainId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] bool is_dom0() const noexcept { return id_ == 0; }
+
+  [[nodiscard]] mem::GuestMemory& memory() noexcept { return memory_; }
+  [[nodiscard]] const mem::GuestMemory& memory() const noexcept {
+    return memory_;
+  }
+  [[nodiscard]] mem::GuestAllocator& allocator() noexcept {
+    return allocator_;
+  }
+
+  [[nodiscard]] Vcpu& vcpu() noexcept { return *vcpu_; }
+  [[nodiscard]] const Vcpu& vcpu() const noexcept { return *vcpu_; }
+
+ private:
+  DomainId id_;
+  std::string name_;
+  mem::GuestMemory memory_;
+  mem::GuestAllocator allocator_;
+  std::unique_ptr<Vcpu> vcpu_;
+};
+
+}  // namespace resex::hv

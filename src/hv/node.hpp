@@ -1,0 +1,139 @@
+#pragma once
+// A virtualized physical node: PCPUs, a credit scheduler, dom0 and guests.
+//
+// Mirrors one of the paper's Dell PowerEdge servers: dom0 is created at
+// construction on PCPU 0; each guest domain is pinned to its own PCPU by
+// default ("each guest domain is assigned a VCPU each in order to minimize
+// the effects of shared CPUs").
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hv/domain.hpp"
+#include "hv/scheduler.hpp"
+
+namespace resex::hv {
+
+struct DomainConfig {
+  std::string name = "vm";
+  std::size_t mem_pages = 2048;  // 8 MiB default guest address space
+  double weight = 256.0;
+  double cap_pct = 100.0;
+  /// PCPU to pin to; kAutoPin picks the next unused PCPU.
+  static constexpr std::uint32_t kAutoPin = ~std::uint32_t{0};
+  std::uint32_t pcpu = kAutoPin;
+};
+
+class Node {
+ public:
+  Node(sim::Simulation& sim, std::string name, std::uint32_t pcpu_count,
+       SchedulerConfig sched_config = {})
+      : sim_(sim), name_(std::move(name)),
+        scheduler_(sim, pcpu_count, sched_config) {
+    // dom0 on PCPU 0, uncapped.
+    DomainConfig cfg;
+    cfg.name = name_ + "/dom0";
+    cfg.pcpu = 0;
+    (void)create_domain_impl(cfg);
+  }
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] sim::Simulation& simulation() noexcept { return sim_; }
+  [[nodiscard]] CreditScheduler& scheduler() noexcept { return scheduler_; }
+
+  [[nodiscard]] Domain& dom0() noexcept { return *domains_.front(); }
+
+  /// Create a guest domain. Auto-pinning assigns the next PCPU after all
+  /// already-pinned ones; throws when the node is out of PCPUs.
+  Domain& create_domain(DomainConfig config) {
+    if (config.pcpu == DomainConfig::kAutoPin) {
+      config.pcpu = next_free_pcpu();
+    }
+    return create_domain_impl(config);
+  }
+
+  [[nodiscard]] Domain* find_domain(DomainId id) noexcept {
+    for (auto& d : domains_) {
+      if (d->id() == id) return d.get();
+    }
+    return nullptr;
+  }
+
+  /// All guest domains (excludes dom0), in creation order.
+  [[nodiscard]] std::vector<Domain*> guests() noexcept {
+    std::vector<Domain*> out;
+    for (auto& d : domains_) {
+      if (!d->is_dom0()) out.push_back(d.get());
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t domain_count() const noexcept {
+    return domains_.size();
+  }
+
+ private:
+  Domain& create_domain_impl(const DomainConfig& config) {
+    const auto id = static_cast<DomainId>(domains_.size());
+    auto dom = std::make_unique<Domain>(sim_, id, config.name,
+                                        config.mem_pages,
+                                        scheduler_.initial_schedule());
+    scheduler_.attach(dom->vcpu(), config.pcpu, config.weight,
+                      config.cap_pct);
+    domains_.push_back(std::move(dom));
+    return *domains_.back();
+  }
+
+  [[nodiscard]] std::uint32_t next_free_pcpu() const {
+    std::uint32_t candidate = 0;
+    for (; candidate < scheduler_.pcpu_count(); ++candidate) {
+      if (scheduler_.load_of(candidate) == 0) return candidate;
+    }
+    throw std::runtime_error("Node: no free PCPU to auto-pin (" + name_ +
+                             ")");
+  }
+
+  sim::Simulation& sim_;
+  std::string name_;
+  CreditScheduler scheduler_;
+  std::vector<std::unique_ptr<Domain>> domains_;
+};
+
+/// XenStat-library facade: the narrow hypervisor interface ResEx uses —
+/// read per-domain CPU consumption and get/set the CPU cap.
+class XenStat {
+ public:
+  explicit XenStat(Node& node) : node_(&node) {}
+
+  /// Cumulative busy nanoseconds charged to the domain.
+  [[nodiscard]] std::uint64_t cpu_ns(DomainId id) const {
+    return domain(id).vcpu().busy_ns();
+  }
+
+  [[nodiscard]] double cap(DomainId id) const {
+    return node_->scheduler().cap(domain(id).vcpu());
+  }
+
+  void set_cap(DomainId id, double cap_pct) {
+    node_->scheduler().set_cap(domain(id).vcpu(), cap_pct);
+  }
+
+ private:
+  [[nodiscard]] Domain& domain(DomainId id) const {
+    Domain* d = node_->find_domain(id);
+    if (d == nullptr) {
+      throw std::out_of_range("XenStat: unknown domain id");
+    }
+    return *d;
+  }
+
+  Node* node_;
+};
+
+}  // namespace resex::hv

@@ -1,0 +1,75 @@
+#include "hv/schedule_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace resex::hv {
+
+SliceSchedule::SliceSchedule(SimDuration slice, SimDuration begin,
+                             SimDuration end)
+    : slice_(slice), begin_(begin), end_(end) {
+  if (slice == 0 || begin >= end || end > slice) {
+    throw std::invalid_argument(
+        "SliceSchedule: need 0 <= begin < end <= slice, slice > 0");
+  }
+}
+
+SliceSchedule SliceSchedule::fraction_of(SimDuration slice, double fraction) {
+  if (!(fraction > 0.0) || fraction > 1.0) {
+    throw std::invalid_argument("SliceSchedule: fraction must be in (0, 1]");
+  }
+  const auto len = static_cast<SimDuration>(
+      std::llround(fraction * static_cast<double>(slice)));
+  return SliceSchedule(slice, 0, std::clamp<SimDuration>(len, 1, slice));
+}
+
+bool SliceSchedule::is_active(SimTime t) const noexcept {
+  const SimDuration off = t % slice_;
+  return off >= begin_ && off < end_;
+}
+
+SimTime SliceSchedule::next_active(SimTime t) const noexcept {
+  const SimDuration off = t % slice_;
+  if (off >= begin_ && off < end_) return t;
+  if (off < begin_) return t - off + begin_;
+  return t - off + slice_ + begin_;  // next slice
+}
+
+SimDuration SliceSchedule::active_time(SimTime t0, SimTime t1) const {
+  if (t0 > t1) {
+    throw std::invalid_argument("SliceSchedule::active_time: t0 > t1");
+  }
+  // Active time in [0, t): full slices plus the partial window of the last.
+  auto upto = [this](SimTime t) -> SimDuration {
+    const SimTime k = t / slice_;
+    const SimDuration off = t % slice_;
+    const SimDuration partial =
+        std::clamp<SimDuration>(off, begin_, end_) - begin_;
+    return k * window_length() + partial;
+  };
+  return upto(t1) - upto(t0);
+}
+
+SimTime SliceSchedule::advance(SimTime t, SimDuration work) const {
+  if (work == 0) return t;
+  const SimDuration w = window_length();
+  // Position within the current slice.
+  SimTime slice_start = t - (t % slice_);
+  SimDuration off = t % slice_;
+  // Work available in the remainder of the current slice's window.
+  SimDuration avail_now = 0;
+  SimDuration start_off = std::max(off, begin_);
+  if (start_off < end_) avail_now = end_ - start_off;
+  if (work <= avail_now) {
+    return slice_start + start_off + work;
+  }
+  work -= avail_now;
+  // Skip whole windows.
+  const SimTime full_slices = (work - 1) / w;
+  work -= full_slices * w;
+  slice_start += (1 + full_slices) * slice_;
+  return slice_start + begin_ + work;
+}
+
+}  // namespace resex::hv

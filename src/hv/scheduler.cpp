@@ -1,0 +1,163 @@
+#include "hv/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace resex::hv {
+
+CreditScheduler::CreditScheduler(sim::Simulation& sim,
+                                 std::uint32_t pcpu_count,
+                                 SchedulerConfig config)
+    : sim_(sim), config_(config), pcpus_(pcpu_count) {
+  if (pcpu_count == 0) {
+    throw std::invalid_argument("CreditScheduler: need at least one PCPU");
+  }
+  if (config_.min_cap_pct <= 0.0 || config_.min_cap_pct > 100.0) {
+    throw std::invalid_argument("CreditScheduler: bad min_cap_pct");
+  }
+}
+
+void CreditScheduler::attach(Vcpu& vcpu, std::uint32_t pcpu, double weight,
+                             double cap_pct) {
+  if (pcpu >= pcpus_.size()) {
+    throw std::out_of_range("CreditScheduler::attach: no such PCPU");
+  }
+  if (states_.contains(&vcpu)) {
+    throw std::logic_error("CreditScheduler::attach: VCPU already attached");
+  }
+  if (weight <= 0.0) {
+    throw std::invalid_argument("CreditScheduler::attach: weight must be > 0");
+  }
+  VcpuState st;
+  st.vcpu = &vcpu;
+  st.pcpu = pcpu;
+  st.weight = weight;
+  st.cap_pct = std::clamp(cap_pct, config_.min_cap_pct, 100.0);
+  states_.emplace(&vcpu, st);
+  pcpus_[pcpu].push_back(&vcpu);
+  relayout(pcpu);
+}
+
+void CreditScheduler::detach(Vcpu& vcpu) {
+  const auto it = states_.find(&vcpu);
+  if (it == states_.end()) return;
+  auto& pinned = pcpus_[it->second.pcpu];
+  pinned.erase(std::remove(pinned.begin(), pinned.end(), &vcpu),
+               pinned.end());
+  const std::uint32_t pcpu = it->second.pcpu;
+  states_.erase(it);
+  if (!pinned.empty()) relayout(pcpu);
+}
+
+CreditScheduler::VcpuState& CreditScheduler::state_of(const Vcpu& vcpu) {
+  const auto it = states_.find(&vcpu);
+  if (it == states_.end()) {
+    throw std::logic_error("CreditScheduler: VCPU not attached");
+  }
+  return it->second;
+}
+
+const CreditScheduler::VcpuState& CreditScheduler::state_of(
+    const Vcpu& vcpu) const {
+  const auto it = states_.find(&vcpu);
+  if (it == states_.end()) {
+    throw std::logic_error("CreditScheduler: VCPU not attached");
+  }
+  return it->second;
+}
+
+void CreditScheduler::set_cap(Vcpu& vcpu, double cap_pct) {
+  VcpuState& st = state_of(vcpu);
+  const double clamped = std::clamp(cap_pct, config_.min_cap_pct, 100.0);
+  if (clamped == st.cap_pct) return;
+  st.cap_pct = clamped;
+  relayout(st.pcpu);
+}
+
+double CreditScheduler::cap(const Vcpu& vcpu) const {
+  return state_of(vcpu).cap_pct;
+}
+
+void CreditScheduler::set_weight(Vcpu& vcpu, double weight) {
+  if (weight <= 0.0) {
+    throw std::invalid_argument("CreditScheduler::set_weight: weight <= 0");
+  }
+  VcpuState& st = state_of(vcpu);
+  st.weight = weight;
+  relayout(st.pcpu);
+}
+
+double CreditScheduler::weight(const Vcpu& vcpu) const {
+  return state_of(vcpu).weight;
+}
+
+std::uint32_t CreditScheduler::pcpu_of(const Vcpu& vcpu) const {
+  return state_of(vcpu).pcpu;
+}
+
+std::size_t CreditScheduler::load_of(std::uint32_t pcpu) const {
+  if (pcpu >= pcpus_.size()) {
+    throw std::out_of_range("CreditScheduler::load_of: no such PCPU");
+  }
+  return pcpus_[pcpu].size();
+}
+
+void CreditScheduler::relayout(std::uint32_t pcpu) {
+  const auto& pinned = pcpus_[pcpu];
+  if (pinned.empty()) return;
+
+  // Water-filling: distribute the PCPU among pinned VCPUs proportionally to
+  // weight, never exceeding a VCPU's cap; surplus from capped VCPUs is
+  // re-offered to the rest (the credit scheduler's work-conserving share).
+  const std::size_t n = pinned.size();
+  std::vector<double> alloc(n, 0.0);
+  std::vector<bool> capped(n, false);
+  double pool = 1.0;
+  for (int round = 0; round < 16 && pool > 1e-9; ++round) {
+    double total_weight = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!capped[i]) total_weight += state_of(*pinned[i]).weight;
+    }
+    if (total_weight <= 0.0) break;
+    double consumed = 0.0;
+    bool newly_capped = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (capped[i]) continue;
+      const VcpuState& st = state_of(*pinned[i]);
+      const double offer = pool * st.weight / total_weight;
+      const double limit = st.cap_pct / 100.0;
+      double next = alloc[i] + offer;
+      if (next >= limit) {
+        next = limit;
+        capped[i] = true;
+        newly_capped = true;
+      }
+      consumed += next - alloc[i];
+      alloc[i] = next;
+    }
+    pool -= consumed;
+    if (!newly_capped) break;  // nothing limited the distribution this round
+  }
+
+  // Lay windows back-to-back in pin order; enforce a floor of one microsecond
+  // so every VCPU can make progress.
+  const auto slice = static_cast<double>(config_.slice);
+  SimDuration cursor = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto len = static_cast<SimDuration>(std::llround(alloc[i] * slice));
+    len = std::clamp<SimDuration>(len, sim::kMicrosecond, config_.slice);
+    if (cursor + len > config_.slice) {
+      // Rounding overshoot: shrink, keeping at least a 1 ns sliver so the
+      // schedule stays valid.
+      len = cursor < config_.slice ? config_.slice - cursor : 1;
+      if (cursor >= config_.slice) cursor = config_.slice - 1;
+    }
+    const SimDuration begin = cursor;
+    const SimDuration end = begin + len;
+    cursor = end;
+    pinned[i]->update_schedule(SliceSchedule(config_.slice, begin, end));
+  }
+}
+
+}  // namespace resex::hv

@@ -1,0 +1,82 @@
+#include "hv/vcpu.hpp"
+
+#include <algorithm>
+
+namespace resex::hv {
+
+Vcpu::Vcpu(sim::Simulation& sim, std::uint32_t id, SliceSchedule schedule)
+    : sim_(sim), id_(id), schedule_(schedule) {}
+
+void Vcpu::checkpoint() {
+  const SimTime now = sim_.now();
+  if (is_busy() && now > acct_checkpoint_) {
+    busy_accum_ += schedule_.active_time(acct_checkpoint_, now);
+  }
+  acct_checkpoint_ = now;
+}
+
+void Vcpu::enqueue(SimDuration work, std::coroutine_handle<> h) {
+  queue_.push_back(WorkItem{work, h});
+  if (!active_) start_next();
+}
+
+void Vcpu::start_next() {
+  if (queue_.empty()) return;
+  checkpoint();  // busy state flips idle -> busy at this instant
+  active_ = queue_.front();
+  queue_.pop_front();
+  work_segment_start_ = sim_.now();
+  plan_completion();
+}
+
+void Vcpu::plan_completion() {
+  const SimTime done = schedule_.advance(sim_.now(), active_->remaining);
+  completion_ = sim_.schedule_at(done, [this] { complete_active(); });
+}
+
+void Vcpu::complete_active() {
+  checkpoint();
+  const std::coroutine_handle<> h = active_->handle;
+  active_.reset();
+  start_next();  // FIFO fairness: queued work starts before the finished
+                 // task's continuation can enqueue more
+  h.resume();
+}
+
+void Vcpu::update_schedule(const SliceSchedule& schedule) {
+  checkpoint();
+  const SimTime now = sim_.now();
+  if (active_) {
+    const SimDuration done =
+        schedule_.active_time(work_segment_start_, now);
+    active_->remaining -= std::min(done, active_->remaining);
+    completion_.cancel();
+  }
+  schedule_ = schedule;
+  if (active_) {
+    work_segment_start_ = now;
+    if (active_->remaining == 0) {
+      // The old plan would have fired at exactly `now`; finish immediately.
+      completion_ = sim_.schedule_at(now, [this] { complete_active(); });
+    } else {
+      plan_completion();
+    }
+  }
+}
+
+void Vcpu::begin_busy_poll() {
+  checkpoint();
+  ++busy_pollers_;
+}
+
+void Vcpu::end_busy_poll() {
+  checkpoint();
+  if (busy_pollers_ > 0) --busy_pollers_;
+}
+
+std::uint64_t Vcpu::busy_ns() {
+  checkpoint();
+  return busy_accum_;
+}
+
+}  // namespace resex::hv

@@ -1,0 +1,118 @@
+#include "ibmon/ibmon.hpp"
+
+#include <cstring>
+
+#include "sim/task.hpp"
+
+namespace resex::ibmon {
+
+void IbMon::watch_cq(hv::Domain& domain, const fabric::CompletionQueue& cq) {
+  // Mapping the ring exercises the privilege check once up-front, like the
+  // real tool's xc_map_foreign_range call at attach time.
+  (void)domain.memory().map_foreign_range(
+      cq.ring_base(),
+      ((cq.ring_bytes() + mem::kPageSize - 1) / mem::kPageSize) *
+          mem::kPageSize);
+  WatchedCq w;
+  w.domain = domain.id();
+  w.memory = &domain.memory();
+  w.base = cq.ring_base();
+  w.entries = cq.entries();
+  watched_.push_back(w);
+  stats_.try_emplace(domain.id());
+}
+
+void IbMon::watch_domain(hv::Domain& domain,
+                         const std::vector<fabric::CompletionQueue*>& cqs) {
+  for (const auto* cq : cqs) watch_cq(domain, *cq);
+}
+
+void IbMon::start() {
+  if (started_) return;
+  started_ = true;
+  sim_.spawn([](IbMon& mon) -> sim::Task {
+    for (;;) {
+      co_await mon.sim_.delay(mon.config_.sample_period);
+      mon.sample_now();
+    }
+  }(*this));
+}
+
+void IbMon::sample_now() {
+  ++samples_;
+  for (auto& w : watched_) scan(w);
+}
+
+fabric::Cqe IbMon::read_slot(const WatchedCq& w, std::uint64_t count) const {
+  const mem::GuestAddr addr =
+      w.base + (count % w.entries) * sizeof(fabric::Cqe);
+  // Out-of-band read through the foreign mapping (page-aligned window that
+  // covers the slot).
+  const mem::GuestAddr page = addr & ~(mem::GuestAddr{mem::kPageSize} - 1);
+  const auto view = w.memory->map_foreign_range(page, mem::kPageSize);
+  fabric::Cqe cqe;
+  std::memcpy(&cqe, view.data() + (addr - page), sizeof(cqe));
+  return cqe;
+}
+
+void IbMon::scan(WatchedCq& w) {
+  for (;;) {
+    const fabric::Cqe cqe = read_slot(w, w.shadow);
+    const std::uint8_t expected = owner_for(w, w.shadow);
+    if (cqe.owner == expected) {
+      w.last_ts = std::max(w.last_ts, cqe.timestamp_ns);
+      account(w.domain, cqe);
+      ++w.shadow;
+      continue;
+    }
+    // Invalid for our lap. Either the slot simply is not written yet (it
+    // holds a *previous* lap's entry, or pristine zeros), or the producer
+    // lapped us and overwrote it with the *next* lap's parity. The owner
+    // bit cannot distinguish these; the completion timestamp can: a lapped
+    // slot is strictly newer than the newest CQE we have consumed, while a
+    // stale slot is older.
+    if (cqe.timestamp_ns > w.last_ts && cqe.timestamp_ns != 0) {
+      auto& st = stats_[w.domain];
+      st.missed_estimate += w.entries;
+      if (st.est_buffer_size > 0) {
+        const std::uint64_t est_bytes =
+            std::uint64_t{st.est_buffer_size} * w.entries;
+        st.send_bytes += est_bytes;
+        const std::uint32_t mtu = config_.mtu_bytes;
+        st.send_mtus += std::uint64_t(w.entries) *
+                        ((st.est_buffer_size + mtu - 1) / mtu);
+      }
+      w.shadow += w.entries;  // resync one lap forward and rescan
+      continue;
+    }
+    break;
+  }
+}
+
+void IbMon::account(hv::DomainId dom, const fabric::Cqe& cqe) {
+  VmIoStats& st = stats_[dom];
+  st.qpns.insert(cqe.qp_num);
+  if (cqe.status != static_cast<std::uint8_t>(fabric::CqeStatus::kSuccess)) {
+    ++st.error_completions;
+    return;
+  }
+  const auto op = static_cast<fabric::CqeOpcode>(cqe.opcode);
+  if (op == fabric::CqeOpcode::kSendComplete ||
+      op == fabric::CqeOpcode::kRdmaReadComplete) {
+    ++st.send_completions;
+    st.send_bytes += cqe.byte_len;
+    const std::uint32_t mtu = config_.mtu_bytes;
+    st.send_mtus += cqe.byte_len == 0 ? 1 : (cqe.byte_len + mtu - 1) / mtu;
+    st.est_buffer_size = std::max(st.est_buffer_size, cqe.byte_len);
+  } else {
+    ++st.recv_completions;
+    st.recv_bytes += cqe.byte_len;
+  }
+}
+
+VmIoStats IbMon::stats(hv::DomainId id) const {
+  const auto it = stats_.find(id);
+  return it == stats_.end() ? VmIoStats{} : it->second;
+}
+
+}  // namespace resex::ibmon

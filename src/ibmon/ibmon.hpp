@@ -1,0 +1,108 @@
+#pragma once
+// IBMon: out-of-band monitoring of VMM-bypass InfiniBand usage.
+//
+// Because guests talk to the HCA directly, the hypervisor never sees data-
+// path I/O. IBMon (running in dom0) recovers it by mapping each guest's CQ
+// rings via the foreign-mapping interface — with ring locations provided by
+// the dom0 backend driver, exactly as in the paper's tool [19] — and
+// periodically scanning for new CQEs using the same owner-bit protocol as
+// the hardware. From the raw CQEs it derives, per domain and interval:
+// completed requests, bytes, estimated application buffer size, active QP
+// numbers, and the paper's charging metric "MTUs sent".
+//
+// Being sample-based, it undercounts when an application laps a ring between
+// samples; a parity heuristic detects single-lap misses and resynchronizes,
+// counting the lost lap as `entries` completions of estimated size (the
+// ablation bench bench_abl_ibmon_sampling quantifies this error).
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/completion_queue.hpp"
+#include "fabric/types.hpp"
+#include "hv/domain.hpp"
+#include "sim/simulation.hpp"
+
+namespace resex::ibmon {
+
+/// Accumulated I/O statistics for one monitored domain. Counters are
+/// cumulative; callers diff successive snapshots per interval.
+struct VmIoStats {
+  std::uint64_t send_completions = 0;
+  std::uint64_t send_bytes = 0;
+  std::uint64_t send_mtus = 0;  // sum of ceil(byte_len / mtu) over send CQEs
+  std::uint64_t recv_completions = 0;
+  std::uint64_t recv_bytes = 0;
+  std::uint64_t error_completions = 0;
+  /// Completions estimated lost to ring overrun (sampling too slow).
+  std::uint64_t missed_estimate = 0;
+  /// Largest message observed — the paper's application "buffer size".
+  std::uint32_t est_buffer_size = 0;
+  std::set<fabric::QpNum> qpns;
+};
+
+struct IbMonConfig {
+  sim::SimDuration sample_period = 100 * sim::kMicrosecond;
+  std::uint32_t mtu_bytes = 1024;
+};
+
+class IbMon {
+ public:
+  IbMon(sim::Simulation& sim, IbMonConfig config = {})
+      : sim_(sim), config_(config) {}
+
+  /// Register a guest's CQ ring for monitoring. `domain` must have foreign
+  /// mapping enabled (dom0 privilege); the ring geometry comes from the
+  /// backend driver. Typically called once per CQ via watch_domain().
+  void watch_cq(hv::Domain& domain, const fabric::CompletionQueue& cq);
+
+  /// Convenience: watch every CQ of a domain on the given HCA-provided list.
+  void watch_domain(hv::Domain& domain,
+                    const std::vector<fabric::CompletionQueue*>& cqs);
+
+  /// Spawn the periodic sampler onto the simulation.
+  void start();
+
+  /// Force one synchronous sampling pass (also used by the sampler task).
+  void sample_now();
+
+  /// Cumulative statistics for a domain (zero-initialised if unknown).
+  [[nodiscard]] VmIoStats stats(hv::DomainId id) const;
+
+  [[nodiscard]] std::size_t watched_cq_count() const noexcept {
+    return watched_.size();
+  }
+  [[nodiscard]] std::uint64_t samples_taken() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] bool started() const noexcept { return started_; }
+
+ private:
+  struct WatchedCq {
+    hv::DomainId domain = 0;
+    const mem::GuestMemory* memory = nullptr;
+    mem::GuestAddr base = 0;
+    std::uint32_t entries = 0;
+    std::uint64_t shadow = 0;   // next CQE index we expect to read
+    std::uint64_t last_ts = 0;  // timestamp of the newest CQE consumed
+  };
+
+  void scan(WatchedCq& w);
+  [[nodiscard]] fabric::Cqe read_slot(const WatchedCq& w,
+                                      std::uint64_t count) const;
+  static std::uint8_t owner_for(const WatchedCq& w, std::uint64_t count) {
+    return static_cast<std::uint8_t>((count / w.entries) % 2 == 0 ? 1 : 0);
+  }
+  void account(hv::DomainId dom, const fabric::Cqe& cqe);
+
+  sim::Simulation& sim_;
+  IbMonConfig config_;
+  std::vector<WatchedCq> watched_;
+  std::unordered_map<hv::DomainId, VmIoStats> stats_;
+  std::uint64_t samples_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace resex::ibmon

@@ -1,0 +1,117 @@
+#pragma once
+// Priority event queue for the discrete-event kernel.
+//
+// Events are ordered by (time, insertion sequence) so that events scheduled
+// for the same instant fire in FIFO order, which makes every simulation run
+// fully deterministic. Cancellation is lazy: an EventHandle flips a shared
+// flag and the queue skips the record when it reaches the top.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace resex::sim {
+
+namespace detail {
+struct EventState {
+  SimTime time = 0;
+  std::uint64_t seq = 0;
+  std::function<void()> fn;
+  bool cancelled = false;
+};
+}  // namespace detail
+
+/// Cancellation handle for a scheduled event. Default-constructed handles are
+/// inert; cancelling an already-fired event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevent the event from firing. Safe to call multiple times.
+  void cancel() {
+    if (auto s = state_.lock()) s->cancelled = true;
+  }
+
+  /// True if the event is still pending (scheduled and not cancelled).
+  [[nodiscard]] bool pending() const {
+    auto s = state_.lock();
+    return s != nullptr && !s->cancelled;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<detail::EventState> s)
+      : state_(std::move(s)) {}
+  std::weak_ptr<detail::EventState> state_;
+};
+
+/// Min-heap of timed callbacks. Not thread-safe by design: the kernel is
+/// single-threaded and deterministic.
+class EventQueue {
+ public:
+  /// Schedule `fn` to run at absolute simulated time `t`.
+  EventHandle push(SimTime t, std::function<void()> fn) {
+    auto state = std::make_shared<detail::EventState>();
+    state->time = t;
+    state->seq = next_seq_++;
+    state->fn = std::move(fn);
+    EventHandle handle{state};
+    heap_.push(std::move(state));
+    ++live_;
+    return handle;
+  }
+
+  /// True if no non-cancelled events remain. Prunes cancelled heads.
+  [[nodiscard]] bool empty() {
+    prune();
+    return heap_.empty();
+  }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] SimTime next_time() {
+    prune();
+    return heap_.top()->time;
+  }
+
+  /// Remove and return the earliest pending event. Precondition: !empty().
+  [[nodiscard]] std::shared_ptr<detail::EventState> pop() {
+    prune();
+    auto top = heap_.top();
+    heap_.pop();
+    --live_;
+    return top;
+  }
+
+  /// Number of events pushed and not yet popped (including cancelled ones
+  /// still sitting in the heap).
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+ private:
+  struct Later {
+    bool operator()(const std::shared_ptr<detail::EventState>& a,
+                    const std::shared_ptr<detail::EventState>& b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->seq > b->seq;
+    }
+  };
+
+  void prune() {
+    while (!heap_.empty() && heap_.top()->cancelled) {
+      heap_.pop();
+      --live_;
+    }
+  }
+
+  std::priority_queue<std::shared_ptr<detail::EventState>,
+                      std::vector<std::shared_ptr<detail::EventState>>, Later>
+      heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace resex::sim

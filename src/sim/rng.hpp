@@ -1,0 +1,132 @@
+#pragma once
+// Deterministic random number generation for simulations.
+//
+// We implement our own generators and distributions (SplitMix64 for seeding,
+// xoshiro256** as the workhorse, explicit inverse-CDF / Box-Muller
+// transforms) instead of <random>'s distributions, whose outputs are not
+// specified by the standard and thus not reproducible across library
+// versions. Every stochastic component of an experiment takes its own Rng
+// stream so component event order never perturbs another component's draws.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace resex::sim {
+
+/// SplitMix64: used to expand a single seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  /// Derive an independent stream: same seed + different stream ids give
+  /// decorrelated generators (used to give each component its own stream).
+  [[nodiscard]] static Rng stream(std::uint64_t seed, std::uint64_t stream_id) {
+    SplitMix64 sm(seed ^ (0xD2B74407B1CE6E93ULL * (stream_id + 1)));
+    Rng r(sm.next());
+    return r;
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Precondition: n > 0. Uses rejection sampling
+  /// to avoid modulo bias.
+  std::uint64_t uniform_u64(std::uint64_t n) {
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Exponential with the given mean (inverse-CDF transform).
+  double exponential(double mean) {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box-Muller (polar form avoided for determinism: the
+  /// basic form consumes exactly two uniforms per pair).
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    spare_ = r * std::sin(kTwoPi * u2);
+    have_spare_ = true;
+    return r * std::cos(kTwoPi * u2);
+  }
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Bounded Pareto (heavy-tailed) with shape `alpha` and minimum `xmin`.
+  double pareto(double alpha, double xmin) {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return xmin / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace resex::sim

@@ -1,0 +1,185 @@
+#pragma once
+// Coroutine task type for simulation processes.
+//
+// A `Task` is a lazily-started coroutine. It can be:
+//  - awaited from another Task (`co_await subtask()`), which transfers control
+//    symmetrically and resumes the awaiter when the subtask finishes; or
+//  - detached onto a Simulation (`sim.spawn(task())`), which makes the
+//    Simulation the owner: the frame self-destructs on completion and any
+//    escaped exception is surfaced from Simulation::run().
+//
+// Tasks are single-threaded; no synchronisation is required or performed.
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace resex::sim {
+
+class Simulation;
+
+namespace detail {
+// Callback installed by Simulation::spawn so a detached task can report
+// completion/exception back to its owner before destroying itself.
+struct DetachedHooks {
+  Simulation* sim = nullptr;
+  void* registration = nullptr;  // opaque registry node
+};
+void notify_detached_done(const DetachedHooks& hooks,
+                          std::exception_ptr error) noexcept;
+}  // namespace detail
+
+class [[nodiscard]] Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    std::coroutine_handle<> continuation{};
+    std::exception_ptr exception{};
+    detail::DetachedHooks detached{};
+    bool is_detached = false;
+
+    Task get_return_object() { return Task{Handle::from_promise(*this)}; }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) noexcept {
+        promise_type& p = h.promise();
+        if (p.is_detached) {
+          detail::notify_detached_done(p.detached, p.exception);
+          h.destroy();
+          return std::noop_coroutine();
+        }
+        if (p.continuation) return p.continuation;
+        return std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept { return handle_ != nullptr; }
+  [[nodiscard]] bool done() const noexcept {
+    return handle_ == nullptr || handle_.done();
+  }
+
+  // Awaitable interface: `co_await task` starts the task and suspends the
+  // awaiter until it completes; exceptions propagate to the awaiter.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    handle_.promise().continuation = awaiter;
+    return handle_;  // symmetric transfer: start the subtask now
+  }
+  void await_resume() {
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+ private:
+  friend class Simulation;
+  explicit Task(Handle h) : handle_(h) {}
+
+  /// Release ownership of the coroutine frame (used by Simulation::spawn).
+  Handle release() noexcept { return std::exchange(handle_, {}); }
+
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_{};
+};
+
+/// Value-returning coroutine, awaitable from Tasks (and other ValueTasks):
+/// `T x = co_await subroutine();`. Unlike Task it cannot be detached onto a
+/// Simulation — it always has an awaiter to deliver its value to.
+template <typename T>
+class [[nodiscard]] ValueTask {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    std::coroutine_handle<> continuation{};
+    std::exception_ptr exception{};
+    std::optional<T> value{};
+
+    ValueTask get_return_object() {
+      return ValueTask{Handle::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) noexcept {
+        if (h.promise().continuation) return h.promise().continuation;
+        return std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_value(T v) { value.emplace(std::move(v)); }
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+  };
+
+  ValueTask() = default;
+  ValueTask(ValueTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, {})) {}
+  ValueTask& operator=(ValueTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ValueTask(const ValueTask&) = delete;
+  ValueTask& operator=(const ValueTask&) = delete;
+  ~ValueTask() { destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    handle_.promise().continuation = awaiter;
+    return handle_;
+  }
+  T await_resume() {
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+    return std::move(*handle_.promise().value);
+  }
+
+ private:
+  explicit ValueTask(Handle h) : handle_(h) {}
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_{};
+};
+
+}  // namespace resex::sim

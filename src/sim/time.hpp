@@ -1,0 +1,56 @@
+#pragma once
+// Simulated-time representation for the ResEx discrete-event kernel.
+//
+// All simulated timestamps are nanoseconds since simulation start, held in an
+// unsigned 64-bit integer (~584 years of range). Durations use the same
+// representation; arithmetic is plain integer arithmetic.
+
+#include <cstdint>
+
+namespace resex::sim {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// A span of simulated time, in nanoseconds.
+using SimDuration = std::uint64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+/// Convert a simulated duration to floating-point microseconds (for reports).
+constexpr double to_us(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+/// Convert a simulated duration to floating-point milliseconds.
+constexpr double to_ms(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Convert a simulated duration to floating-point seconds.
+constexpr double to_sec(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Convert floating-point microseconds to a simulated duration (rounds down).
+constexpr SimDuration from_us(double us) noexcept {
+  return static_cast<SimDuration>(us * static_cast<double>(kMicrosecond));
+}
+
+namespace literals {
+
+constexpr SimDuration operator""_ns(unsigned long long v) { return v; }
+constexpr SimDuration operator""_us(unsigned long long v) {
+  return v * kMicrosecond;
+}
+constexpr SimDuration operator""_ms(unsigned long long v) {
+  return v * kMillisecond;
+}
+constexpr SimDuration operator""_s(unsigned long long v) { return v * kSecond; }
+
+}  // namespace literals
+
+}  // namespace resex::sim

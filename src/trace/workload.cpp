@@ -1,0 +1,142 @@
+#include "trace/workload.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace resex::trace {
+
+ArrivalProcess::ArrivalProcess(ArrivalConfig config, sim::Rng rng)
+    : config_(config), rng_(rng) {
+  if (config_.rate_per_sec <= 0.0) {
+    throw std::invalid_argument("ArrivalProcess: rate must be > 0");
+  }
+  if (config_.kind == ArrivalKind::kBursty) {
+    if (config_.pareto_shape <= 1.0) {
+      throw std::invalid_argument(
+          "ArrivalProcess: pareto_shape must be > 1 for a finite mean");
+    }
+    // Bounded Pareto mean = shape*xmin/(shape-1); solve for xmin so the mean
+    // gap matches 1/rate.
+    const double mean_gap_ns = 1e9 / config_.rate_per_sec;
+    pareto_xmin_ =
+        mean_gap_ns * (config_.pareto_shape - 1.0) / config_.pareto_shape;
+  }
+}
+
+sim::SimDuration ArrivalProcess::initial_phase() {
+  const double mean_gap_ns = 1e9 / config_.rate_per_sec;
+  return static_cast<sim::SimDuration>(rng_.uniform() * mean_gap_ns);
+}
+
+sim::SimDuration ArrivalProcess::next_gap() {
+  const double mean_gap_ns = 1e9 / config_.rate_per_sec;
+  switch (config_.kind) {
+    case ArrivalKind::kFixedRate: {
+      const double jitter =
+          config_.jitter_frac * (2.0 * rng_.uniform() - 1.0);
+      return static_cast<sim::SimDuration>(mean_gap_ns * (1.0 + jitter));
+    }
+    case ArrivalKind::kPoisson:
+      return static_cast<sim::SimDuration>(rng_.exponential(mean_gap_ns));
+    case ArrivalKind::kBursty:
+      return static_cast<sim::SimDuration>(
+          rng_.pareto(config_.pareto_shape, pareto_xmin_));
+  }
+  return static_cast<sim::SimDuration>(mean_gap_ns);
+}
+
+RequestMix::RequestMix(std::vector<MixEntry> entries)
+    : entries_(std::move(entries)) {
+  if (entries_.empty()) {
+    throw std::invalid_argument("RequestMix: need at least one entry");
+  }
+  for (const auto& e : entries_) {
+    if (e.weight <= 0.0 || e.min_instruments > e.max_instruments ||
+        e.min_instruments == 0) {
+      throw std::invalid_argument("RequestMix: bad entry");
+    }
+    total_weight_ += e.weight;
+  }
+}
+
+RequestMix::Draw RequestMix::sample(sim::Rng& rng) const {
+  double pick = rng.uniform() * total_weight_;
+  const MixEntry* chosen = &entries_.back();
+  for (const auto& e : entries_) {
+    if (pick < e.weight) {
+      chosen = &e;
+      break;
+    }
+    pick -= e.weight;
+  }
+  const std::uint32_t span =
+      chosen->max_instruments - chosen->min_instruments + 1;
+  return Draw{chosen->kind,
+              chosen->min_instruments +
+                  static_cast<std::uint32_t>(rng.uniform_u64(span))};
+}
+
+RequestMix RequestMix::exchange_default() {
+  return RequestMix({
+      {finance::RequestKind::kQuote, 5, 50, 0.80},
+      {finance::RequestKind::kTrade, 1, 10, 0.18},
+      {finance::RequestKind::kRiskReport, 1, 4, 0.02},
+  });
+}
+
+std::vector<TraceRecord> generate_trace(const ArrivalConfig& arrivals,
+                                        const RequestMix& mix,
+                                        sim::SimDuration duration,
+                                        std::uint64_t seed) {
+  ArrivalProcess proc(arrivals, sim::Rng::stream(seed, 0xA1));
+  sim::Rng mix_rng = sim::Rng::stream(seed, 0xA2);
+  std::vector<TraceRecord> out;
+  sim::SimTime t = 0;
+  for (;;) {
+    t += proc.next_gap();
+    if (t >= duration) break;
+    const auto draw = mix.sample(mix_rng);
+    out.push_back(TraceRecord{t, draw.kind, draw.instruments});
+  }
+  return out;
+}
+
+void save_trace(const std::vector<TraceRecord>& trace,
+                const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_trace: cannot open " + path);
+  out << "at_ns,kind,instruments\n";
+  for (const auto& r : trace) {
+    out << r.at << ',' << static_cast<int>(r.kind) << ',' << r.instruments
+        << '\n';
+  }
+  if (!out) throw std::runtime_error("save_trace: write failed " + path);
+}
+
+std::vector<TraceRecord> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("load_trace: empty file " + path);
+  }
+  std::vector<TraceRecord> out;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    TraceRecord r;
+    char comma1 = 0, comma2 = 0;
+    int kind = 0;
+    if (!(ss >> r.at >> comma1 >> kind >> comma2 >> r.instruments) ||
+        comma1 != ',' || comma2 != ',' || kind < 0 || kind > 2) {
+      throw std::runtime_error("load_trace: malformed line: " + line);
+    }
+    r.kind = static_cast<finance::RequestKind>(kind);
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace resex::trace

@@ -1,0 +1,106 @@
+#pragma once
+// Synthetic workload traces modelling an electronic exchange's request
+// stream (the paper's proprietary ICE traces are unavailable; Section IV of
+// the paper itself substitutes configurable synthetic behaviour, which this
+// module provides).
+//
+// A trace is a timed sequence of transaction requests (kind + instrument
+// count). Arrival processes cover the regimes an exchange sees: steady
+// fixed-rate feeds, Poisson order flow, and heavy-tailed bursts.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "finance/workload.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace resex::trace {
+
+enum class ArrivalKind : std::uint8_t {
+  kFixedRate,   // deterministic gaps (market-data style feed)
+  kPoisson,     // exponential gaps (order flow)
+  kBursty,      // bounded-Pareto gaps (news-driven bursts)
+};
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate_per_sec = 1000.0;  // mean arrival rate
+  double pareto_shape = 1.5;     // kBursty only; must be > 1 for finite mean
+  /// kFixedRate only: each gap is mean * (1 ± jitter_frac). Real feeds are
+  /// never metronome-exact; without jitter two equal-rate sources stay
+  /// phase-locked forever and either always or never collide.
+  double jitter_frac = 0.05;
+};
+
+/// Draws successive inter-arrival gaps.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(ArrivalConfig config, sim::Rng rng);
+
+  [[nodiscard]] sim::SimDuration next_gap();
+
+  /// A uniform offset in [0, mean gap) used to desynchronise multiple
+  /// sources of the same rate (real feeds are not phase-locked; without
+  /// this, two fixed-rate clients collide on every single message).
+  [[nodiscard]] sim::SimDuration initial_phase();
+
+  [[nodiscard]] const ArrivalConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  ArrivalConfig config_;
+  sim::Rng rng_;
+  double pareto_xmin_ = 0.0;  // derived so the mean matches rate_per_sec
+};
+
+/// Weighted mixture over request kinds with per-kind instrument ranges.
+struct MixEntry {
+  finance::RequestKind kind = finance::RequestKind::kQuote;
+  std::uint32_t min_instruments = 1;
+  std::uint32_t max_instruments = 10;
+  double weight = 1.0;
+};
+
+class RequestMix {
+ public:
+  explicit RequestMix(std::vector<MixEntry> entries);
+
+  struct Draw {
+    finance::RequestKind kind;
+    std::uint32_t instruments;
+  };
+  [[nodiscard]] Draw sample(sim::Rng& rng) const;
+
+  [[nodiscard]] const std::vector<MixEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// The default exchange mix: mostly quotes, some trades, rare risk runs
+  /// (modelled on the request distribution Section IV describes).
+  [[nodiscard]] static RequestMix exchange_default();
+
+ private:
+  std::vector<MixEntry> entries_;
+  double total_weight_ = 0.0;
+};
+
+struct TraceRecord {
+  sim::SimTime at = 0;
+  finance::RequestKind kind = finance::RequestKind::kQuote;
+  std::uint32_t instruments = 1;
+};
+
+/// Materialise a trace for `duration` of simulated time.
+[[nodiscard]] std::vector<TraceRecord> generate_trace(
+    const ArrivalConfig& arrivals, const RequestMix& mix,
+    sim::SimDuration duration, std::uint64_t seed);
+
+/// Persist/reload traces (CSV: at_ns,kind,instruments) for replay.
+void save_trace(const std::vector<TraceRecord>& trace,
+                const std::string& path);
+[[nodiscard]] std::vector<TraceRecord> load_trace(const std::string& path);
+
+}  // namespace resex::trace

@@ -1,0 +1,76 @@
+#include "core/detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resex::core {
+namespace {
+
+using Snapshot = benchex::LatencyAgent::Snapshot;
+
+Snapshot snap(double mean, std::uint64_t reports) {
+  return Snapshot{mean, 0.0, reports};
+}
+
+TEST(Detector, ConfiguredBaselineWithinSlaIsZero) {
+  InterferenceDetector d;
+  d.add_vm(1, 200.0);
+  EXPECT_DOUBLE_EQ(d.observe(1, snap(205.0, 1)), 0.0);
+  EXPECT_DOUBLE_EQ(d.observe(1, snap(229.0, 2)), 0.0);  // < 15% threshold
+}
+
+TEST(Detector, ViolationReturnsPercentIncrease) {
+  InterferenceDetector d;
+  d.add_vm(1, 200.0);
+  EXPECT_NEAR(d.observe(1, snap(300.0, 1)), 50.0, 1e-9);
+  EXPECT_NEAR(d.observe(1, snap(400.0, 2)), 100.0, 1e-9);
+}
+
+TEST(Detector, InterferencePctCapped) {
+  InterferenceDetector d;
+  d.add_vm(1, 10.0);
+  EXPECT_DOUBLE_EQ(d.observe(1, snap(10000.0, 1)), 400.0);
+}
+
+TEST(Detector, StaleSnapshotIgnored) {
+  InterferenceDetector d;
+  d.add_vm(1, 200.0);
+  EXPECT_GT(d.observe(1, snap(500.0, 1)), 0.0);
+  // Same report count: no fresh data arrived, do not re-flag.
+  EXPECT_DOUBLE_EQ(d.observe(1, snap(500.0, 1)), 0.0);
+}
+
+TEST(Detector, LearnsBaselineFromCleanIntervals) {
+  SlaConfig cfg;
+  cfg.learn_intervals = 4;
+  InterferenceDetector d(cfg);
+  d.add_vm(1);
+  EXPECT_FALSE(d.has_baseline(1));
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    EXPECT_DOUBLE_EQ(d.observe(1, snap(200.0 + i, i)), 0.0);
+  }
+  EXPECT_TRUE(d.has_baseline(1));
+  EXPECT_NEAR(d.baseline(1), 202.5, 1e-9);
+  EXPECT_GT(d.observe(1, snap(300.0, 5)), 0.0);
+}
+
+TEST(Detector, CustomThreshold) {
+  SlaConfig cfg;
+  cfg.threshold_pct = 50.0;
+  InterferenceDetector d(cfg);
+  d.add_vm(1, 100.0);
+  EXPECT_DOUBLE_EQ(d.observe(1, snap(140.0, 1)), 0.0);
+  EXPECT_NEAR(d.observe(1, snap(160.0, 2)), 60.0, 1e-9);
+}
+
+TEST(Detector, Validation) {
+  InterferenceDetector d;
+  d.add_vm(1, 100.0);
+  EXPECT_THROW(d.add_vm(1), std::logic_error);
+  EXPECT_THROW((void)d.observe(9, snap(1.0, 1)), std::out_of_range);
+  EXPECT_THROW((void)d.baseline(9), std::out_of_range);
+  d.add_vm(2);
+  EXPECT_THROW((void)d.baseline(2), std::out_of_range);  // still learning
+}
+
+}  // namespace
+}  // namespace resex::core

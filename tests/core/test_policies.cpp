@@ -1,0 +1,183 @@
+#include "core/policies.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resex::core {
+namespace {
+
+VmObservation obs(hv::DomainId id, double cpu, double mtus,
+                  double intf = 0.0, double epoch_remaining = 0.5) {
+  VmObservation o;
+  o.id = id;
+  o.cpu_pct = cpu;
+  o.mtus = mtus;
+  o.intf_pct = intf;
+  o.epoch_remaining = epoch_remaining;
+  return o;
+}
+
+struct FreeMarketFixture : ::testing::Test {
+  ResosLedger ledger;
+  FreeMarketPolicy policy;
+  void SetUp() override {
+    ledger.add_vm(1);
+    ledger.add_vm(2);
+    ledger.replenish();  // sync balances to the two-VM allocations
+  }
+};
+
+TEST_F(FreeMarketFixture, ChargesFixedRate) {
+  const double start = ledger.balance(1);
+  const auto vms = std::vector<VmObservation>{obs(1, 80.0, 500.0)};
+  (void)policy.on_interval(vms[0], vms, ledger);
+  EXPECT_DOUBLE_EQ(ledger.balance(1), start - 580.0);
+}
+
+TEST_F(FreeMarketFixture, FullCapWhileSolvent) {
+  const auto vms = std::vector<VmObservation>{obs(1, 100.0, 1000.0)};
+  const auto d = policy.on_interval(vms[0], vms, ledger);
+  ASSERT_TRUE(d.new_cap.has_value());
+  EXPECT_DOUBLE_EQ(*d.new_cap, 100.0);
+}
+
+TEST_F(FreeMarketFixture, ThrottlesWhenNearlyBroke) {
+  // Drain VM 1 below the 10% watermark.
+  (void)ledger.deduct(1, ledger.allocation(1) * 0.95);
+  const auto vms = std::vector<VmObservation>{obs(1, 10.0, 10.0)};
+  auto d = policy.on_interval(vms[0], vms, ledger);
+  ASSERT_TRUE(d.new_cap.has_value());
+  EXPECT_DOUBLE_EQ(*d.new_cap, 90.0);  // one 10% step
+  d = policy.on_interval(vms[0], vms, ledger);
+  EXPECT_DOUBLE_EQ(*d.new_cap, 81.0);  // compounding steps
+}
+
+TEST_F(FreeMarketFixture, NoThrottleNearEpochEnd) {
+  (void)ledger.deduct(1, ledger.allocation(1) * 0.95);
+  // Only 5% of the epoch left: let it coast to the replenish.
+  const auto vms = std::vector<VmObservation>{obs(1, 10.0, 10.0, 0.0, 0.05)};
+  const auto d = policy.on_interval(vms[0], vms, ledger);
+  ASSERT_TRUE(d.new_cap.has_value());
+  EXPECT_DOUBLE_EQ(*d.new_cap, 100.0);
+}
+
+TEST_F(FreeMarketFixture, CapFloored) {
+  (void)ledger.deduct(1, ledger.allocation(1));
+  const auto vms = std::vector<VmObservation>{obs(1, 10.0, 10.0)};
+  std::optional<double> cap;
+  for (int i = 0; i < 100; ++i) cap = policy.on_interval(vms[0], vms, ledger).new_cap;
+  EXPECT_DOUBLE_EQ(*cap, 5.0);  // default min_cap
+}
+
+TEST_F(FreeMarketFixture, EpochRestoresCap) {
+  (void)ledger.deduct(1, ledger.allocation(1));
+  const auto vms = std::vector<VmObservation>{obs(1, 10.0, 10.0)};
+  (void)policy.on_interval(vms[0], vms, ledger);
+  ledger.replenish();
+  policy.on_epoch_start(ledger);
+  const auto d = policy.on_interval(vms[0], vms, ledger);
+  EXPECT_DOUBLE_EQ(*d.new_cap, 100.0);
+}
+
+TEST_F(FreeMarketFixture, IgnoresInterferenceSignal) {
+  // FreeMarket "does not limit the latency since it does not have access to
+  // that information" (Section VII-D).
+  const auto vms = std::vector<VmObservation>{obs(1, 10.0, 10.0, 300.0)};
+  const auto d = policy.on_interval(vms[0], vms, ledger);
+  EXPECT_DOUBLE_EQ(*d.new_cap, 100.0);
+}
+
+struct IOSharesFixture : ::testing::Test {
+  ResosLedger ledger;
+  IOSharesPolicy policy;
+  void SetUp() override {
+    ledger.add_vm(1);  // reporting VM
+    ledger.add_vm(2);  // interferer
+  }
+  /// Run one controller pass: VM 1 reports intf_pct, VM 2 sends heavily.
+  std::optional<double> pass(double intf_pct, double rep_mtus = 100.0,
+                             double intf_mtus = 2000.0) {
+    const std::vector<VmObservation> vms{obs(1, 90.0, rep_mtus, intf_pct),
+                                         obs(2, 90.0, intf_mtus)};
+    (void)policy.on_interval(vms[0], vms, ledger);
+    return policy.on_interval(vms[1], vms, ledger).new_cap;
+  }
+};
+
+TEST_F(IOSharesFixture, NoInterferenceKeepsFullCap) {
+  const auto cap = pass(0.0);
+  ASSERT_TRUE(cap.has_value());
+  EXPECT_DOUBLE_EQ(*cap, 100.0);
+  EXPECT_DOUBLE_EQ(policy.rate_of(2), 1.0);
+}
+
+TEST_F(IOSharesFixture, InterferenceRaisesInterfererRateAndLowersCap) {
+  const auto cap = pass(100.0);  // latency doubled
+  ASSERT_TRUE(cap.has_value());
+  // IOShare = 2000/2100, r' = IOShare * 1.0 -> rate ~1.95, cap ~51%.
+  EXPECT_NEAR(policy.rate_of(2), 1.0 + 2000.0 / 2100.0, 1e-9);
+  EXPECT_NEAR(*cap, 100.0 / (1.0 + 2000.0 / 2100.0), 1e-6);
+}
+
+TEST_F(IOSharesFixture, RepeatedInterferenceCompounds) {
+  (void)pass(100.0);
+  const auto cap2 = pass(100.0);
+  EXPECT_GT(policy.rate_of(2), 1.9);
+  EXPECT_LT(*cap2, 40.0);
+}
+
+TEST_F(IOSharesFixture, CapFloored) {
+  std::optional<double> cap;
+  for (int i = 0; i < 50; ++i) cap = pass(400.0);
+  EXPECT_DOUBLE_EQ(*cap, 2.0);  // default min_cap
+}
+
+TEST_F(IOSharesFixture, BacksOffWhenClean) {
+  (void)pass(200.0);
+  const double hot_rate = policy.rate_of(2);
+  std::optional<double> cap;
+  for (int i = 0; i < 400; ++i) cap = pass(0.0);
+  EXPECT_LT(policy.rate_of(2), hot_rate * 0.01 + 1.01);
+  EXPECT_GT(*cap, 99.0);  // cap recovered
+}
+
+TEST_F(IOSharesFixture, ChargesInterfererAtRaisedRate) {
+  (void)pass(100.0);
+  const double before = ledger.balance(2);
+  (void)pass(0.0);  // next pass charges at the raised (decaying) rate
+  const double spent = before - ledger.balance(2);
+  EXPECT_GT(spent, 2090.0);  // (90 cpu + 2000 mtus) * rate > 1
+}
+
+TEST_F(IOSharesFixture, InterfererIsLargestOtherSender) {
+  ledger.add_vm(3);
+  const std::vector<VmObservation> vms{obs(1, 90.0, 100.0, 100.0),
+                                       obs(2, 90.0, 500.0),
+                                       obs(3, 90.0, 3000.0)};
+  (void)policy.on_interval(vms[0], vms, ledger);
+  (void)policy.on_interval(vms[1], vms, ledger);
+  (void)policy.on_interval(vms[2], vms, ledger);
+  EXPECT_DOUBLE_EQ(policy.rate_of(2), 1.0);
+  EXPECT_GT(policy.rate_of(3), 1.5);
+}
+
+TEST(StaticReservation, AlwaysAppliesConfiguredCaps) {
+  ResosLedger ledger;
+  ledger.add_vm(1);
+  ledger.add_vm(2);
+  StaticReservationPolicy policy({{2, 25.0}});
+  const std::vector<VmObservation> vms{obs(1, 50.0, 10.0),
+                                       obs(2, 50.0, 10.0)};
+  EXPECT_FALSE(policy.on_interval(vms[0], vms, ledger).new_cap.has_value());
+  const auto cap = policy.on_interval(vms[1], vms, ledger).new_cap;
+  ASSERT_TRUE(cap.has_value());
+  EXPECT_DOUBLE_EQ(*cap, 25.0);
+}
+
+TEST(PolicyNames, Stable) {
+  EXPECT_STREQ(FreeMarketPolicy{}.name(), "FreeMarket");
+  EXPECT_STREQ(IOSharesPolicy{}.name(), "IOShares");
+  EXPECT_STREQ(StaticReservationPolicy{{}}.name(), "StaticReservation");
+}
+
+}  // namespace
+}  // namespace resex::core

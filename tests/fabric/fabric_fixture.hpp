@@ -1,0 +1,80 @@
+#pragma once
+// Shared scaffolding for fabric tests: two nodes on one switch, plus a
+// convenience endpoint bundle (PD + CQs + QP + one registered buffer).
+//
+// Control-path setup here calls the HCA directly (synchronously) so tests
+// can wire a world without running the simulation; the Verbs control-path
+// costs are covered by dedicated tests.
+
+#include <cstring>
+#include <memory>
+
+#include "fabric/hca.hpp"
+#include "fabric/verbs.hpp"
+#include "hv/node.hpp"
+#include "sim/simulation.hpp"
+
+namespace resex::fabric::testing {
+
+/// Test fabric config with round numbers: 1 ns/byte exactly
+/// (1 KiB packet = 1024 ns), making timings easy to reason about.
+inline FabricConfig test_config() {
+  FabricConfig cfg;
+  cfg.link_bytes_per_sec = 1e9;  // 1 ns per byte
+  return cfg;
+}
+
+struct Endpoint {
+  hv::Domain* domain = nullptr;
+  std::unique_ptr<Verbs> verbs;
+  std::uint32_t pd = 0;
+  CompletionQueue* send_cq = nullptr;
+  CompletionQueue* recv_cq = nullptr;
+  QueuePair* qp = nullptr;
+  mem::GuestAddr buf = 0;
+  mem::RegisteredRegion mr;
+};
+
+struct TwoNodeWorld {
+  sim::Simulation sim;
+  hv::Node node_a{sim, "A", 8};
+  hv::Node node_b{sim, "B", 8};
+  Fabric fabric;
+  Hca* hca_a;
+  Hca* hca_b;
+
+  explicit TwoNodeWorld(FabricConfig cfg = test_config()) : fabric(sim, cfg) {
+    hca_a = &fabric.add_node(node_a);
+    hca_b = &fabric.add_node(node_b);
+  }
+
+  /// Create a guest domain with an endpoint on the given HCA.
+  Endpoint make_endpoint(hv::Node& node, Hca& hca, const std::string& name,
+                         std::size_t buf_bytes = 64 * 1024,
+                         std::uint32_t cq_entries = 1024) {
+    Endpoint ep;
+    ep.domain = &node.create_domain(
+        {.name = name, .mem_pages = 2048});  // 8 MiB
+    ep.verbs = std::make_unique<Verbs>(hca, *ep.domain);
+    ep.pd = hca.alloc_pd(*ep.domain);
+    ep.send_cq = &hca.create_cq(*ep.domain, cq_entries);
+    ep.recv_cq = &hca.create_cq(*ep.domain, cq_entries);
+    ep.qp = &hca.create_qp(*ep.domain, ep.pd, *ep.send_cq, *ep.recv_cq);
+    ep.buf = ep.domain->allocator().allocate(buf_bytes, mem::kPageSize);
+    ep.mr = hca.reg_mr(ep.pd, *ep.domain, ep.buf, buf_bytes,
+                       mem::Access::kLocalWrite | mem::Access::kRemoteWrite |
+                           mem::Access::kRemoteRead);
+    return ep;
+  }
+
+  /// Endpoint pair connected across the two nodes.
+  std::pair<Endpoint, Endpoint> make_connected_pair(
+      std::size_t buf_bytes = 64 * 1024) {
+    Endpoint a = make_endpoint(node_a, *hca_a, "vmA", buf_bytes);
+    Endpoint b = make_endpoint(node_b, *hca_b, "vmB", buf_bytes);
+    Fabric::connect(*a.qp, *b.qp);
+    return {std::move(a), std::move(b)};
+  }
+};
+
+}  // namespace resex::fabric::testing

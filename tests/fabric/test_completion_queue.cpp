@@ -1,0 +1,145 @@
+#include "fabric/completion_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace resex::fabric {
+namespace {
+
+using namespace resex::sim::literals;
+using sim::Simulation;
+using sim::Task;
+
+struct CqFixture : ::testing::Test {
+  Simulation sim;
+  mem::GuestMemory memory{8};
+  CompletionQueue cq{sim, memory, 0, 8, 1};
+};
+
+Cqe make_cqe(std::uint64_t wr_id) {
+  Cqe c;
+  c.wr_id = wr_id;
+  c.qp_num = 7;
+  c.byte_len = 123;
+  c.status = static_cast<std::uint8_t>(CqeStatus::kSuccess);
+  return c;
+}
+
+TEST_F(CqFixture, RejectsBadConstruction) {
+  EXPECT_THROW(CompletionQueue(sim, memory, 0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(CompletionQueue(sim, memory, 64, 4, 1), std::invalid_argument);
+}
+
+TEST_F(CqFixture, EmptyInitially) {
+  EXPECT_FALSE(cq.has_entry());
+  EXPECT_FALSE(cq.poll().has_value());
+  EXPECT_EQ(cq.produced(), 0u);
+  EXPECT_EQ(cq.consumed(), 0u);
+}
+
+TEST_F(CqFixture, ProduceThenPollRoundTrips) {
+  cq.produce(make_cqe(42));
+  EXPECT_TRUE(cq.has_entry());
+  const auto got = cq.poll();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->wr_id, 42u);
+  EXPECT_EQ(got->qp_num, 7u);
+  EXPECT_EQ(got->byte_len, 123u);
+  EXPECT_FALSE(cq.has_entry());
+  EXPECT_EQ(cq.consumed(), 1u);
+}
+
+TEST_F(CqFixture, FifoOrder) {
+  for (std::uint64_t i = 0; i < 5; ++i) cq.produce(make_cqe(i));
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto got = cq.poll();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->wr_id, i);
+  }
+}
+
+TEST_F(CqFixture, TimestampIsProductionTime) {
+  sim.schedule_at(5_us, [&] { cq.produce(make_cqe(1)); });
+  sim.run();
+  const auto got = cq.poll();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->timestamp_ns, 5_us);
+}
+
+TEST_F(CqFixture, OwnerBitLapsAroundRing) {
+  // Fill and drain the 8-entry ring three times; validity must hold on each
+  // lap (owner bit alternates).
+  for (int lap = 0; lap < 3; ++lap) {
+    for (std::uint64_t i = 0; i < 8; ++i) cq.produce(make_cqe(i));
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      const auto got = cq.poll();
+      ASSERT_TRUE(got.has_value()) << "lap " << lap << " entry " << i;
+      EXPECT_EQ(got->wr_id, i);
+    }
+    EXPECT_FALSE(cq.has_entry());
+  }
+}
+
+TEST_F(CqFixture, OverrunThrows) {
+  for (std::uint64_t i = 0; i < 8; ++i) cq.produce(make_cqe(i));
+  EXPECT_THROW(cq.produce(make_cqe(9)), std::runtime_error);
+}
+
+TEST_F(CqFixture, CqesAreRealBytesInGuestMemory) {
+  cq.produce(make_cqe(0xCAFE));
+  const auto raw = memory.read_obj<Cqe>(0);
+  EXPECT_EQ(raw.wr_id, 0xCAFEu);
+  EXPECT_EQ(raw.owner, 1u);  // lap 0 owner bit
+}
+
+Task wait_then_log(CompletionQueue& cq, hv::Vcpu& vcpu,
+                   std::vector<sim::SimTime>& log) {
+  co_await cq.wait(vcpu);
+  log.push_back(vcpu.simulation().now());
+}
+
+TEST_F(CqFixture, WaitResumesOnProduce) {
+  hv::Vcpu vcpu(sim, 1, hv::SliceSchedule(10_ms, 0, 10_ms));
+  std::vector<sim::SimTime> log;
+  sim.spawn(wait_then_log(cq, vcpu, log));
+  sim.schedule_at(3_us, [&] { cq.produce(make_cqe(1)); });
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 3_us);
+}
+
+TEST_F(CqFixture, WaitIsImmediateIfEntryAvailable) {
+  hv::Vcpu vcpu(sim, 1, hv::SliceSchedule(10_ms, 0, 10_ms));
+  cq.produce(make_cqe(1));
+  std::vector<sim::SimTime> log;
+  sim.spawn(wait_then_log(cq, vcpu, log));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 0u);
+}
+
+TEST_F(CqFixture, DescheduledVcpuObservesCompletionLate) {
+  // VCPU runs only the first 1 ms of each 10 ms slice; a CQE produced at
+  // 3 ms is not observed until the next window at 10 ms.
+  hv::Vcpu vcpu(sim, 1, hv::SliceSchedule(10_ms, 0, 1_ms));
+  std::vector<sim::SimTime> log;
+  sim.spawn(wait_then_log(cq, vcpu, log));
+  sim.schedule_at(3_ms, [&] { cq.produce(make_cqe(1)); });
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 10_ms);
+}
+
+TEST_F(CqFixture, MultipleWaitersAllWake) {
+  hv::Vcpu vcpu(sim, 1, hv::SliceSchedule(10_ms, 0, 10_ms));
+  std::vector<sim::SimTime> log;
+  sim.spawn(wait_then_log(cq, vcpu, log));
+  sim.spawn(wait_then_log(cq, vcpu, log));
+  sim.schedule_at(1_us, [&] { cq.produce(make_cqe(1)); });
+  sim.run();
+  EXPECT_EQ(log.size(), 2u);
+}
+
+}  // namespace
+}  // namespace resex::fabric

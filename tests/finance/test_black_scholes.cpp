@@ -1,0 +1,153 @@
+#include "finance/black_scholes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace resex::finance {
+namespace {
+
+OptionSpec atm() {
+  return OptionSpec{.spot = 100.0, .strike = 100.0, .rate = 0.05,
+                    .vol = 0.2, .expiry = 1.0, .type = OptionType::kCall};
+}
+
+TEST(NormFunctions, CdfKnownValues) {
+  EXPECT_NEAR(norm_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(norm_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(norm_cdf(-1.0), 0.15865525393145705, 1e-12);
+  EXPECT_NEAR(norm_cdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormFunctions, PdfSymmetricAndNormalized) {
+  EXPECT_NEAR(norm_pdf(0.0), 0.3989422804014327, 1e-14);
+  EXPECT_DOUBLE_EQ(norm_pdf(1.3), norm_pdf(-1.3));
+}
+
+TEST(BlackScholes, KnownCallPrice) {
+  // Classic textbook value: S=100, K=100, r=5%, sigma=20%, T=1.
+  EXPECT_NEAR(price(atm()), 10.450583572185565, 1e-9);
+}
+
+TEST(BlackScholes, KnownPutPrice) {
+  OptionSpec o = atm();
+  o.type = OptionType::kPut;
+  EXPECT_NEAR(price(o), 5.573526022256971, 1e-9);
+}
+
+TEST(BlackScholes, PutCallParity) {
+  for (double k : {80.0, 100.0, 123.0}) {
+    OptionSpec c = atm();
+    c.strike = k;
+    OptionSpec p = c;
+    p.type = OptionType::kPut;
+    const double lhs = price(c) - price(p);
+    const double rhs = c.spot - k * std::exp(-c.rate * c.expiry);
+    EXPECT_NEAR(lhs, rhs, 1e-10) << "K=" << k;
+  }
+}
+
+TEST(BlackScholes, DeepInTheMoneyCallApproachesForward) {
+  OptionSpec o = atm();
+  o.strike = 1.0;
+  EXPECT_NEAR(price(o), o.spot - o.strike * std::exp(-o.rate * o.expiry),
+              1e-9);
+}
+
+TEST(BlackScholes, PriceIncreasesWithVol) {
+  OptionSpec lo = atm(), hi = atm();
+  lo.vol = 0.1;
+  hi.vol = 0.5;
+  EXPECT_LT(price(lo), price(hi));
+}
+
+TEST(BlackScholes, ValidationRejectsBadInputs) {
+  OptionSpec o = atm();
+  o.spot = 0.0;
+  EXPECT_THROW((void)price(o), BadOption);
+  o = atm();
+  o.vol = -0.1;
+  EXPECT_THROW((void)price(o), BadOption);
+  o = atm();
+  o.expiry = 0.0;
+  EXPECT_THROW((void)price(o), BadOption);
+  o = atm();
+  o.strike = -5.0;
+  EXPECT_THROW((void)greeks(o), BadOption);
+}
+
+TEST(Greeks, CallDeltaKnownValue) {
+  EXPECT_NEAR(greeks(atm()).delta, 0.6368306511756191, 1e-10);
+}
+
+TEST(Greeks, PutCallDeltaRelation) {
+  OptionSpec c = atm();
+  OptionSpec p = atm();
+  p.type = OptionType::kPut;
+  EXPECT_NEAR(greeks(c).delta - greeks(p).delta, 1.0, 1e-12);
+}
+
+TEST(Greeks, GammaAndVegaMatchFiniteDifference) {
+  const OptionSpec o = atm();
+  const double h = 1e-4;
+  OptionSpec up = o, dn = o;
+  up.spot += h;
+  dn.spot -= h;
+  const double fd_delta = (price(up) - price(dn)) / (2 * h);
+  const double fd_gamma =
+      (price(up) - 2 * price(o) + price(dn)) / (h * h);
+  EXPECT_NEAR(greeks(o).delta, fd_delta, 1e-6);
+  EXPECT_NEAR(greeks(o).gamma, fd_gamma, 1e-4);
+
+  OptionSpec vu = o, vd = o;
+  vu.vol += h;
+  vd.vol -= h;
+  EXPECT_NEAR(greeks(o).vega, (price(vu) - price(vd)) / (2 * h), 1e-5);
+}
+
+TEST(Greeks, ThetaAndRhoMatchFiniteDifference) {
+  const OptionSpec o = atm();
+  const double h = 1e-5;
+  OptionSpec tu = o, td = o;
+  tu.expiry += h;
+  td.expiry -= h;
+  // theta = -dV/dT (calendar decay).
+  EXPECT_NEAR(greeks(o).theta, -(price(tu) - price(td)) / (2 * h), 1e-4);
+  OptionSpec ru = o, rd = o;
+  ru.rate += h;
+  rd.rate -= h;
+  EXPECT_NEAR(greeks(o).rho, (price(ru) - price(rd)) / (2 * h), 1e-4);
+}
+
+TEST(ImpliedVol, RecoversInputVol) {
+  for (double sigma : {0.05, 0.2, 0.45, 0.9}) {
+    OptionSpec o = atm();
+    o.vol = sigma;
+    const double p = price(o);
+    EXPECT_NEAR(implied_vol(o, p), sigma, 1e-7) << "sigma=" << sigma;
+  }
+}
+
+TEST(ImpliedVol, WorksForPutsAndAwayFromMoney) {
+  OptionSpec o = atm();
+  o.type = OptionType::kPut;
+  o.strike = 140.0;
+  o.vol = 0.33;
+  EXPECT_NEAR(implied_vol(o, price(o)), 0.33, 1e-7);
+}
+
+TEST(ImpliedVol, RejectsArbitrageViolations) {
+  const OptionSpec o = atm();
+  EXPECT_THROW((void)implied_vol(o, -1.0), BadOption);
+  EXPECT_THROW((void)implied_vol(o, o.spot * 1.5), BadOption);
+}
+
+TEST(ImpliedVol, HandlesNearIntrinsicPrices) {
+  OptionSpec o = atm();
+  o.vol = 0.01;  // almost intrinsic-only value
+  const double p = price(o);
+  EXPECT_NEAR(implied_vol(o, p), 0.01, 1e-5);
+}
+
+}  // namespace
+}  // namespace resex::finance

@@ -1,0 +1,111 @@
+#include "hv/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace resex::hv {
+namespace {
+
+using namespace resex::sim::literals;
+using sim::Simulation;
+using sim::Task;
+
+TEST(Node, Dom0CreatedOnPcpu0) {
+  Simulation sim;
+  Node node(sim, "A", 4);
+  EXPECT_EQ(node.domain_count(), 1u);
+  EXPECT_TRUE(node.dom0().is_dom0());
+  EXPECT_EQ(node.scheduler().pcpu_of(node.dom0().vcpu()), 0u);
+  EXPECT_EQ(node.dom0().name(), "A/dom0");
+}
+
+TEST(Node, AutoPinUsesDistinctPcpus) {
+  Simulation sim;
+  Node node(sim, "A", 3);
+  Domain& d1 = node.create_domain({.name = "vm1"});
+  Domain& d2 = node.create_domain({.name = "vm2"});
+  EXPECT_EQ(node.scheduler().pcpu_of(d1.vcpu()), 1u);
+  EXPECT_EQ(node.scheduler().pcpu_of(d2.vcpu()), 2u);
+}
+
+TEST(Node, AutoPinExhaustionThrows) {
+  Simulation sim;
+  Node node(sim, "A", 2);
+  (void)node.create_domain({.name = "vm1"});
+  EXPECT_THROW((void)node.create_domain({.name = "vm2"}), std::runtime_error);
+}
+
+TEST(Node, ExplicitPinSharesPcpu) {
+  Simulation sim;
+  Node node(sim, "A", 2);
+  Domain& d1 = node.create_domain({.name = "vm1", .pcpu = 1});
+  Domain& d2 = node.create_domain({.name = "vm2", .pcpu = 1});
+  EXPECT_EQ(node.scheduler().load_of(1), 2u);
+  EXPECT_NEAR(d1.vcpu().schedule().duty_cycle(), 0.5, 1e-6);
+  EXPECT_NEAR(d2.vcpu().schedule().duty_cycle(), 0.5, 1e-6);
+}
+
+TEST(Node, DomainCapAppliedAtCreation) {
+  Simulation sim;
+  Node node(sim, "A", 2);
+  Domain& d = node.create_domain({.name = "vm1", .cap_pct = 30.0});
+  EXPECT_NEAR(d.vcpu().schedule().duty_cycle(), 0.30, 1e-6);
+}
+
+TEST(Node, FindDomain) {
+  Simulation sim;
+  Node node(sim, "A", 2);
+  Domain& d = node.create_domain({.name = "vm1"});
+  EXPECT_EQ(node.find_domain(d.id()), &d);
+  EXPECT_EQ(node.find_domain(99), nullptr);
+}
+
+TEST(Node, GuestsExcludesDom0) {
+  Simulation sim;
+  Node node(sim, "A", 3);
+  (void)node.create_domain({.name = "vm1"});
+  (void)node.create_domain({.name = "vm2"});
+  const auto gs = node.guests();
+  ASSERT_EQ(gs.size(), 2u);
+  EXPECT_EQ(gs[0]->name(), "vm1");
+  EXPECT_EQ(gs[1]->name(), "vm2");
+}
+
+TEST(Node, DomainMemoryIsIndependent) {
+  Simulation sim;
+  Node node(sim, "A", 3);
+  Domain& d1 = node.create_domain({.name = "vm1", .mem_pages = 2});
+  Domain& d2 = node.create_domain({.name = "vm2", .mem_pages = 4});
+  d1.memory().write_obj<std::uint32_t>(0, 111);
+  d2.memory().write_obj<std::uint32_t>(0, 222);
+  EXPECT_EQ(d1.memory().read_obj<std::uint32_t>(0), 111u);
+  EXPECT_EQ(d2.memory().read_obj<std::uint32_t>(0), 222u);
+  EXPECT_EQ(d2.memory().page_count(), 4u);
+}
+
+TEST(XenStat, CpuAccountingAndCaps) {
+  Simulation sim;
+  Node node(sim, "A", 2);
+  Domain& d = node.create_domain({.name = "vm1"});
+  XenStat xs(node);
+  EXPECT_DOUBLE_EQ(xs.cap(d.id()), 100.0);
+  xs.set_cap(d.id(), 50.0);
+  EXPECT_DOUBLE_EQ(xs.cap(d.id()), 50.0);
+  EXPECT_NEAR(d.vcpu().schedule().duty_cycle(), 0.5, 1e-6);
+
+  sim.spawn([](Vcpu& v) -> Task { co_await v.consume(2_ms); }(d.vcpu()));
+  sim.run();
+  EXPECT_EQ(xs.cpu_ns(d.id()), 2_ms);
+}
+
+TEST(XenStat, UnknownDomainThrows) {
+  Simulation sim;
+  Node node(sim, "A", 1);
+  XenStat xs(node);
+  EXPECT_THROW((void)xs.cpu_ns(42), std::out_of_range);
+  EXPECT_THROW(xs.set_cap(42, 10.0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace resex::hv

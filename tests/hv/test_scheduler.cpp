@@ -1,0 +1,177 @@
+#include "hv/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace resex::hv {
+namespace {
+
+using namespace resex::sim::literals;
+using sim::Simulation;
+
+TEST(CreditScheduler, RejectsBadConstruction) {
+  Simulation sim;
+  EXPECT_THROW(CreditScheduler(sim, 0), std::invalid_argument);
+  SchedulerConfig bad;
+  bad.min_cap_pct = 0.0;
+  EXPECT_THROW(CreditScheduler(sim, 1, bad), std::invalid_argument);
+}
+
+TEST(CreditScheduler, SoloVcpuGetsFullPcpu) {
+  Simulation sim;
+  CreditScheduler sched(sim, 2);
+  Vcpu v(sim, 1, sched.initial_schedule());
+  sched.attach(v, 0);
+  EXPECT_EQ(v.schedule().window_begin(), 0u);
+  EXPECT_EQ(v.schedule().window_end(), 10_ms);
+  EXPECT_DOUBLE_EQ(sched.cap(v), 100.0);
+}
+
+TEST(CreditScheduler, CapShrinksWindow) {
+  Simulation sim;
+  CreditScheduler sched(sim, 1);
+  Vcpu v(sim, 1, sched.initial_schedule());
+  sched.attach(v, 0, 256.0, 25.0);
+  EXPECT_EQ(v.schedule().window_begin(), 0u);
+  EXPECT_EQ(v.schedule().window_end(), 2500_us);
+}
+
+TEST(CreditScheduler, SetCapRelaysToVcpu) {
+  Simulation sim;
+  CreditScheduler sched(sim, 1);
+  Vcpu v(sim, 1, sched.initial_schedule());
+  sched.attach(v, 0);
+  sched.set_cap(v, 40.0);
+  EXPECT_DOUBLE_EQ(sched.cap(v), 40.0);
+  EXPECT_EQ(v.schedule().window_length(), 4_ms);
+}
+
+TEST(CreditScheduler, CapClampedToBounds) {
+  Simulation sim;
+  CreditScheduler sched(sim, 1);
+  Vcpu v(sim, 1, sched.initial_schedule());
+  sched.attach(v, 0);
+  sched.set_cap(v, 0.01);
+  EXPECT_DOUBLE_EQ(sched.cap(v), 1.0);  // default min_cap
+  sched.set_cap(v, 250.0);
+  EXPECT_DOUBLE_EQ(sched.cap(v), 100.0);
+}
+
+TEST(CreditScheduler, EqualWeightsSplitPcpuEvenly) {
+  Simulation sim;
+  CreditScheduler sched(sim, 1);
+  Vcpu a(sim, 1, sched.initial_schedule());
+  Vcpu b(sim, 2, sched.initial_schedule());
+  sched.attach(a, 0);
+  sched.attach(b, 0);
+  EXPECT_EQ(a.schedule().window_begin(), 0u);
+  EXPECT_EQ(a.schedule().window_end(), 5_ms);
+  EXPECT_EQ(b.schedule().window_begin(), 5_ms);
+  EXPECT_EQ(b.schedule().window_end(), 10_ms);
+}
+
+TEST(CreditScheduler, WeightsBiasShares) {
+  Simulation sim;
+  CreditScheduler sched(sim, 1);
+  Vcpu a(sim, 1, sched.initial_schedule());
+  Vcpu b(sim, 2, sched.initial_schedule());
+  sched.attach(a, 0, 512.0);
+  sched.attach(b, 0, 256.0);
+  EXPECT_NEAR(a.schedule().duty_cycle(), 2.0 / 3.0, 1e-3);
+  EXPECT_NEAR(b.schedule().duty_cycle(), 1.0 / 3.0, 1e-3);
+}
+
+TEST(CreditScheduler, CapSurplusRedistributedToUncapped) {
+  Simulation sim;
+  CreditScheduler sched(sim, 1);
+  Vcpu a(sim, 1, sched.initial_schedule());
+  Vcpu b(sim, 2, sched.initial_schedule());
+  sched.attach(a, 0, 256.0, 20.0);  // capped at 20%
+  sched.attach(b, 0, 256.0);       // uncapped: should absorb the other 80%
+  EXPECT_NEAR(a.schedule().duty_cycle(), 0.20, 1e-6);
+  EXPECT_NEAR(b.schedule().duty_cycle(), 0.80, 1e-6);
+}
+
+TEST(CreditScheduler, AllCappedLeavesIdleGap) {
+  Simulation sim;
+  CreditScheduler sched(sim, 1);
+  Vcpu a(sim, 1, sched.initial_schedule());
+  Vcpu b(sim, 2, sched.initial_schedule());
+  sched.attach(a, 0, 256.0, 30.0);
+  sched.attach(b, 0, 256.0, 30.0);
+  EXPECT_NEAR(a.schedule().duty_cycle(), 0.30, 1e-6);
+  EXPECT_NEAR(b.schedule().duty_cycle(), 0.30, 1e-6);
+  EXPECT_LE(b.schedule().window_end(), 10_ms);
+}
+
+TEST(CreditScheduler, WindowsDoNotOverlap) {
+  Simulation sim;
+  CreditScheduler sched(sim, 1);
+  std::vector<std::unique_ptr<Vcpu>> vcpus;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    vcpus.push_back(std::make_unique<Vcpu>(sim, i, sched.initial_schedule()));
+    sched.attach(*vcpus.back(), 0, 100.0 + i * 50.0);
+  }
+  SimTime prev_end = 0;
+  for (auto& v : vcpus) {
+    EXPECT_GE(v->schedule().window_begin(), prev_end);
+    prev_end = v->schedule().window_end();
+  }
+  EXPECT_LE(prev_end, 10_ms);
+}
+
+TEST(CreditScheduler, AttachValidation) {
+  Simulation sim;
+  CreditScheduler sched(sim, 1);
+  Vcpu v(sim, 1, sched.initial_schedule());
+  EXPECT_THROW(sched.attach(v, 5), std::out_of_range);
+  EXPECT_THROW(sched.attach(v, 0, -1.0), std::invalid_argument);
+  sched.attach(v, 0);
+  EXPECT_THROW(sched.attach(v, 0), std::logic_error);
+}
+
+TEST(CreditScheduler, QueriesOnUnattachedThrow) {
+  Simulation sim;
+  CreditScheduler sched(sim, 1);
+  Vcpu v(sim, 1, sched.initial_schedule());
+  EXPECT_THROW((void)sched.cap(v), std::logic_error);
+  EXPECT_THROW(sched.set_cap(v, 50.0), std::logic_error);
+  EXPECT_THROW((void)sched.pcpu_of(v), std::logic_error);
+}
+
+TEST(CreditScheduler, DetachRelayoutsSurvivors) {
+  Simulation sim;
+  CreditScheduler sched(sim, 1);
+  Vcpu a(sim, 1, sched.initial_schedule());
+  Vcpu b(sim, 2, sched.initial_schedule());
+  sched.attach(a, 0);
+  sched.attach(b, 0);
+  EXPECT_NEAR(a.schedule().duty_cycle(), 0.5, 1e-6);
+  sched.detach(a);
+  EXPECT_NEAR(b.schedule().duty_cycle(), 1.0, 1e-6);
+  EXPECT_EQ(sched.load_of(0), 1u);
+  sched.detach(a);  // double detach is a no-op
+}
+
+TEST(CreditScheduler, SetWeightRebalances) {
+  Simulation sim;
+  CreditScheduler sched(sim, 1);
+  Vcpu a(sim, 1, sched.initial_schedule());
+  Vcpu b(sim, 2, sched.initial_schedule());
+  sched.attach(a, 0);
+  sched.attach(b, 0);
+  sched.set_weight(a, 768.0);
+  EXPECT_NEAR(a.schedule().duty_cycle(), 0.75, 1e-3);
+  EXPECT_THROW(sched.set_weight(a, 0.0), std::invalid_argument);
+}
+
+TEST(CreditScheduler, LoadOfChecksBounds) {
+  Simulation sim;
+  CreditScheduler sched(sim, 2);
+  EXPECT_EQ(sched.load_of(1), 0u);
+  EXPECT_THROW((void)sched.load_of(7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace resex::hv

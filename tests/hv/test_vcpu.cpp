@@ -1,0 +1,213 @@
+#include "hv/vcpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace resex::hv {
+namespace {
+
+using namespace resex::sim::literals;
+using sim::Simulation;
+using sim::Task;
+
+SliceSchedule full() { return SliceSchedule(10_ms, 0, 10_ms); }
+SliceSchedule capped(double pct) {
+  return SliceSchedule::fraction_of(10_ms, pct / 100.0);
+}
+
+Task consume_once(Simulation& sim, Vcpu& v, SimDuration work,
+                  std::vector<SimTime>& log) {
+  (void)sim;
+  co_await v.consume(work);
+  log.push_back(v.simulation().now());
+}
+
+TEST(Vcpu, UncappedWorkTakesWallClockTime) {
+  Simulation sim;
+  Vcpu v(sim, 1, full());
+  std::vector<SimTime> log;
+  sim.spawn(consume_once(sim, v, 3_ms, log));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 3_ms);
+}
+
+TEST(Vcpu, CappedWorkStretches) {
+  Simulation sim;
+  Vcpu v(sim, 1, capped(25.0));  // runs [0, 2.5ms) per 10ms
+  std::vector<SimTime> log;
+  sim.spawn(consume_once(sim, v, 5_ms, log));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  // 2.5ms in slice 0, 2.5ms in slice 1 -> completes at 12.5ms.
+  EXPECT_EQ(log[0], 12_ms + 500_us);
+}
+
+TEST(Vcpu, ZeroWorkCompletesSynchronously) {
+  Simulation sim;
+  Vcpu v(sim, 1, full());
+  std::vector<SimTime> log;
+  sim.spawn(consume_once(sim, v, 0, log));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 0u);
+}
+
+Task two_phase(Vcpu& v, std::vector<SimTime>& log) {
+  co_await v.consume(1_ms);
+  log.push_back(v.simulation().now());
+  co_await v.consume(1_ms);
+  log.push_back(v.simulation().now());
+}
+
+TEST(Vcpu, SequentialConsumesAccumulate) {
+  Simulation sim;
+  Vcpu v(sim, 1, full());
+  std::vector<SimTime> log;
+  sim.spawn(two_phase(v, log));
+  sim.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], 1_ms);
+  EXPECT_EQ(log[1], 2_ms);
+}
+
+TEST(Vcpu, TwoTasksShareFifo) {
+  Simulation sim;
+  Vcpu v(sim, 1, full());
+  std::vector<SimTime> log_a, log_b;
+  sim.spawn(consume_once(sim, v, 2_ms, log_a));
+  sim.spawn(consume_once(sim, v, 3_ms, log_b));
+  sim.run();
+  ASSERT_EQ(log_a.size(), 1u);
+  ASSERT_EQ(log_b.size(), 1u);
+  EXPECT_EQ(log_a[0], 2_ms);       // A runs first
+  EXPECT_EQ(log_b[0], 5_ms);       // B queued behind A
+}
+
+TEST(Vcpu, BacklogCountsQueuedWork) {
+  Simulation sim;
+  Vcpu v(sim, 1, full());
+  std::vector<SimTime> log;
+  sim.spawn(consume_once(sim, v, 2_ms, log));
+  sim.spawn(consume_once(sim, v, 2_ms, log));
+  sim.run_until(1_ms);
+  EXPECT_EQ(v.backlog(), 2u);
+  sim.run();
+  EXPECT_EQ(v.backlog(), 0u);
+}
+
+TEST(Vcpu, CapChangeMidWorkReplans) {
+  Simulation sim;
+  Vcpu v(sim, 1, full());
+  std::vector<SimTime> log;
+  sim.spawn(consume_once(sim, v, 4_ms, log));
+  // After 1ms of progress, throttle to 10%: remaining 3ms of work takes
+  // 30ms of wall time in 1ms chunks starting at the next window.
+  sim.schedule_at(1_ms, [&] { v.update_schedule(capped(10.0)); });
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  // At t=1ms the new schedule is [k*10ms, k*10ms+1ms). t=1ms is exactly the
+  // window end, so work resumes at 10ms; 3ms of work = 3 windows; completes
+  // at 10ms+1ms worth... verify via active_time consistency instead of a
+  // hand-computed constant:
+  const SliceSchedule s = capped(10.0);
+  EXPECT_EQ(s.active_time(1_ms, log[0]), 3_ms);
+}
+
+TEST(Vcpu, CapRaiseMidWorkSpeedsUp) {
+  Simulation sim;
+  Vcpu v(sim, 1, capped(10.0));
+  std::vector<SimTime> log;
+  sim.spawn(consume_once(sim, v, 2_ms, log));
+  sim.schedule_at(5_ms, [&] { v.update_schedule(full()); });
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  // 1ms done in [0,1ms); idle until 5ms; remaining 1ms full speed -> 6ms.
+  EXPECT_EQ(log[0], 6_ms);
+}
+
+TEST(Vcpu, BusyAccountingCountsWorkOnly) {
+  Simulation sim;
+  Vcpu v(sim, 1, full());
+  std::vector<SimTime> log;
+  sim.spawn(consume_once(sim, v, 3_ms, log));
+  sim.run();
+  sim.run_until(20_ms);
+  EXPECT_EQ(v.busy_ns(), 3_ms);
+}
+
+TEST(Vcpu, BusyAccountingUnderCapCountsActiveShareOnly) {
+  Simulation sim;
+  Vcpu v(sim, 1, capped(20.0));
+  std::vector<SimTime> log;
+  sim.spawn(consume_once(sim, v, 4_ms, log));
+  sim.run();
+  // Work took 4ms of CPU regardless of stretching.
+  EXPECT_EQ(v.busy_ns(), 4_ms);
+}
+
+TEST(Vcpu, BusyPollChargesScheduledTime) {
+  Simulation sim;
+  Vcpu v(sim, 1, capped(50.0));
+  sim.schedule_at(0, [&] { v.begin_busy_poll(); });
+  sim.schedule_at(20_ms, [&] { v.end_busy_poll(); });
+  sim.run();
+  // Polling for 20ms at 50% duty cycle -> 10ms charged.
+  EXPECT_EQ(v.busy_ns(), 10_ms);
+}
+
+TEST(Vcpu, NestedBusyPollBalanced) {
+  Simulation sim;
+  Vcpu v(sim, 1, full());
+  sim.schedule_at(0, [&] {
+    v.begin_busy_poll();
+    v.begin_busy_poll();
+  });
+  sim.schedule_at(4_ms, [&] { v.end_busy_poll(); });
+  sim.schedule_at(6_ms, [&] { v.end_busy_poll(); });
+  sim.run();
+  EXPECT_EQ(v.busy_ns(), 6_ms);
+  v.end_busy_poll();  // unbalanced extra end is ignored
+  EXPECT_EQ(v.busy_ns(), 6_ms);
+}
+
+TEST(Vcpu, NextActiveDelegatesToSchedule) {
+  Simulation sim;
+  Vcpu v(sim, 1, capped(30.0));
+  EXPECT_EQ(v.next_active(5_ms), 10_ms);
+  EXPECT_EQ(v.next_active(1_ms), 1_ms);
+}
+
+TEST(Vcpu, CapChangeWhileIdleOnlyAffectsFuture) {
+  Simulation sim;
+  Vcpu v(sim, 1, full());
+  v.update_schedule(capped(10.0));
+  std::vector<SimTime> log;
+  sim.spawn(consume_once(sim, v, 1_ms, log));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 1_ms);  // window [0,1ms) covers it exactly
+}
+
+TEST(Vcpu, ManySmallConsumesMatchOneBig) {
+  Simulation sim1, sim2;
+  Vcpu a(sim1, 1, capped(37.0));
+  Vcpu b(sim2, 1, capped(37.0));
+  std::vector<SimTime> la, lb;
+  sim1.spawn([](Vcpu& v, std::vector<SimTime>& l) -> Task {
+    for (int i = 0; i < 100; ++i) co_await v.consume(100_us);
+    l.push_back(v.simulation().now());
+  }(a, la));
+  sim2.spawn(consume_once(sim2, b, 10_ms, lb));
+  sim1.run();
+  sim2.run();
+  ASSERT_EQ(la.size(), 1u);
+  ASSERT_EQ(lb.size(), 1u);
+  EXPECT_EQ(la[0], lb[0]);
+}
+
+}  // namespace
+}  // namespace resex::hv

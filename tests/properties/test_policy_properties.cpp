@@ -1,0 +1,211 @@
+// Property suite for the pricing policies and ledger, swept across
+// interference levels, IO shares and usage patterns.
+
+#include <gtest/gtest.h>
+
+#include "core/policies.hpp"
+#include "sim/rng.hpp"
+
+namespace resex::core {
+namespace {
+
+VmObservation obs(hv::DomainId id, double cpu, double mtus, double intf,
+                  double remaining = 0.5) {
+  VmObservation o;
+  o.id = id;
+  o.cpu_pct = cpu;
+  o.mtus = mtus;
+  o.intf_pct = intf;
+  o.epoch_remaining = remaining;
+  return o;
+}
+
+// --- ledger invariants under random operation sequences ----------------------
+
+class LedgerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LedgerPropertyTest, BalanceStaysWithinBounds) {
+  sim::Rng rng(GetParam());
+  ResosLedger ledger;
+  ledger.add_vm(1, 1.0 + rng.uniform() * 3.0);
+  ledger.add_vm(2, 1.0 + rng.uniform() * 3.0);
+  ledger.replenish();
+  for (int step = 0; step < 2000; ++step) {
+    const hv::DomainId id = rng.chance(0.5) ? 1 : 2;
+    switch (rng.uniform_u64(4)) {
+      case 0:
+      case 1:
+        (void)ledger.deduct(id, rng.uniform(0.0, 5000.0));
+        break;
+      case 2:
+        ledger.set_charge_rate(id, rng.uniform(0.5, 10.0));
+        break;
+      case 3:
+        if (rng.chance(0.05)) ledger.replenish();
+        break;
+    }
+    for (hv::DomainId vm : {1u, 2u}) {
+      ASSERT_GE(ledger.balance(vm), 0.0);
+      ASSERT_LE(ledger.balance(vm), ledger.allocation(vm) + 1e-9);
+      ASSERT_GE(ledger.charge_rate(vm), 1.0);
+      ASSERT_GE(ledger.fraction_remaining(vm), 0.0);
+      ASSERT_LE(ledger.fraction_remaining(vm), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST_P(LedgerPropertyTest, DeductionIsExactlyRateTimesUsageUntilEmpty) {
+  sim::Rng rng(GetParam() + 100);
+  ResosLedger ledger;
+  ledger.add_vm(1);
+  double expected = ledger.balance(1);
+  for (int i = 0; i < 500 && expected > 0.0; ++i) {
+    const double rate = 1.0 + rng.uniform() * 4.0;
+    const double usage = rng.uniform(0.0, 2000.0);
+    ledger.set_charge_rate(1, rate);
+    (void)ledger.deduct(1, usage);
+    expected = std::max(0.0, expected - usage * rate);
+    ASSERT_NEAR(ledger.balance(1), expected, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LedgerPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// --- IOShares properties across the (intf, share) grid -----------------------
+
+struct IosPoint {
+  double intf_pct;
+  double intf_mtus;
+  double rep_mtus;
+};
+
+class IOSharesPropertyTest : public ::testing::TestWithParam<IosPoint> {};
+
+TEST_P(IOSharesPropertyTest, CapEqualsHundredOverRateAndIsMonotone) {
+  const IosPoint p = GetParam();
+  ResosLedger ledger;
+  ledger.add_vm(1);
+  ledger.add_vm(2);
+  ledger.replenish();
+  IOSharesPolicy policy;
+  double prev_cap = 100.0;
+  for (int round = 0; round < 30; ++round) {
+    const std::vector<VmObservation> vms{
+        obs(1, 90.0, p.rep_mtus, p.intf_pct),
+        obs(2, 90.0, p.intf_mtus, 0.0)};
+    (void)policy.on_interval(vms[0], vms, ledger);
+    const auto cap = policy.on_interval(vms[1], vms, ledger).new_cap;
+    ASSERT_TRUE(cap.has_value());
+    // cap = clamp(100/rate): consistent with the published formula.
+    const double expected =
+        std::clamp(100.0 / policy.rate_of(2), 2.0, 100.0);
+    ASSERT_NEAR(*cap, expected, 1e-9);
+    // Under sustained interference the cap never increases.
+    ASSERT_LE(*cap, prev_cap + 1e-9);
+    prev_cap = *cap;
+  }
+  if (p.intf_pct > 0.0) {
+    EXPECT_LT(prev_cap, 100.0);
+  } else {
+    EXPECT_DOUBLE_EQ(prev_cap, 100.0);
+  }
+}
+
+TEST_P(IOSharesPropertyTest, ReportingVmIsNeverPenalized) {
+  const IosPoint p = GetParam();
+  ResosLedger ledger;
+  ledger.add_vm(1);
+  ledger.add_vm(2);
+  IOSharesPolicy policy;
+  for (int round = 0; round < 20; ++round) {
+    const std::vector<VmObservation> vms{
+        obs(1, 90.0, p.rep_mtus, p.intf_pct),
+        obs(2, 90.0, p.intf_mtus, 0.0)};
+    const auto self_cap = policy.on_interval(vms[0], vms, ledger).new_cap;
+    (void)policy.on_interval(vms[1], vms, ledger);
+    ASSERT_TRUE(self_cap.has_value());
+    ASSERT_DOUBLE_EQ(*self_cap, 100.0);
+    ASSERT_DOUBLE_EQ(policy.rate_of(1), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, IOSharesPropertyTest,
+    ::testing::Values(IosPoint{0.0, 2000.0, 100.0},
+                      IosPoint{20.0, 2000.0, 100.0},
+                      IosPoint{50.0, 900.0, 400.0},
+                      IosPoint{100.0, 4000.0, 50.0},
+                      IosPoint{400.0, 2000.0, 100.0},
+                      IosPoint{30.0, 10.0, 5.0}),
+    [](const ::testing::TestParamInfo<IosPoint>& info) {
+      return "intf" + std::to_string(static_cast<int>(info.param.intf_pct)) +
+             "_mtus" + std::to_string(static_cast<int>(info.param.intf_mtus));
+    });
+
+// A competing sender doing comparable I/O (not > 1.5x) is never taxed, even
+// while the observer violates its SLA — the Figure 8 "same amount of I/O"
+// guarantee.
+TEST(IOSharesFairness, SimilarVolumeSenderIsNotTaxed) {
+  ResosLedger ledger;
+  ledger.add_vm(1);
+  ledger.add_vm(2);
+  IOSharesPolicy policy;
+  for (int round = 0; round < 20; ++round) {
+    const std::vector<VmObservation> vms{obs(1, 90.0, 400.0, 80.0),
+                                         obs(2, 90.0, 450.0, 0.0)};
+    (void)policy.on_interval(vms[0], vms, ledger);
+    const auto cap = policy.on_interval(vms[1], vms, ledger).new_cap;
+    ASSERT_DOUBLE_EQ(*cap, 100.0);
+  }
+  EXPECT_DOUBLE_EQ(policy.rate_of(2), 1.0);
+}
+
+// A fellow SLA-violating VM is never the culprit, no matter its volume.
+TEST(IOSharesFairness, FellowVictimIsNotTaxed) {
+  ResosLedger ledger;
+  ledger.add_vm(1);
+  ledger.add_vm(2);
+  IOSharesPolicy policy;
+  const std::vector<VmObservation> vms{obs(1, 90.0, 100.0, 80.0),
+                                       obs(2, 90.0, 5000.0, 60.0)};
+  (void)policy.on_interval(vms[0], vms, ledger);
+  (void)policy.on_interval(vms[1], vms, ledger);
+  EXPECT_DOUBLE_EQ(policy.rate_of(1), 1.0);
+  EXPECT_DOUBLE_EQ(policy.rate_of(2), 1.0);
+}
+
+// --- FreeMarket properties ----------------------------------------------------
+
+class FreeMarketPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FreeMarketPropertyTest, CapNeverIncreasesWithinEpochAndRestores) {
+  const double usage = GetParam();
+  ResosLedger ledger;
+  ledger.add_vm(1);
+  ledger.add_vm(2);
+  ledger.replenish();
+  FreeMarketPolicy policy;
+  double prev_cap = 100.0;
+  for (int interval = 0; interval < 1000; ++interval) {
+    const double remaining = 1.0 - interval / 1000.0;
+    const std::vector<VmObservation> vms{
+        obs(1, 100.0, usage, 0.0, remaining)};
+    const auto cap = policy.on_interval(vms[0], vms, ledger).new_cap;
+    ASSERT_TRUE(cap.has_value());
+    ASSERT_LE(*cap, prev_cap + 1e-9);
+    ASSERT_GE(*cap, 5.0);  // the configured floor
+    prev_cap = *cap;
+  }
+  ledger.replenish();
+  policy.on_epoch_start(ledger);
+  const std::vector<VmObservation> vms{obs(1, 100.0, usage, 0.0, 1.0)};
+  EXPECT_DOUBLE_EQ(*policy.on_interval(vms[0], vms, ledger).new_cap, 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(UsageLevels, FreeMarketPropertyTest,
+                         ::testing::Values(0.0, 100.0, 500.0, 700.0, 1500.0,
+                                           5000.0));
+
+}  // namespace
+}  // namespace resex::core

@@ -1,0 +1,102 @@
+// Property suite for the scheduler window model: the cap mechanism's
+// correctness reduces to `advance` and `active_time` being exact adjoints
+// on every schedule shape, which everything above (VCPU stretching, CQ
+// observation delays, XenStat accounting) relies on.
+
+#include <gtest/gtest.h>
+
+#include "hv/schedule_model.hpp"
+#include "sim/rng.hpp"
+
+namespace resex::hv {
+namespace {
+
+using namespace resex::sim::literals;
+
+struct ScheduleShape {
+  SimDuration slice;
+  SimDuration begin;
+  SimDuration end;
+};
+
+class SchedulePropertyTest : public ::testing::TestWithParam<ScheduleShape> {
+ protected:
+  SliceSchedule sched() const {
+    const auto& p = GetParam();
+    return SliceSchedule(p.slice, p.begin, p.end);
+  }
+};
+
+TEST_P(SchedulePropertyTest, AdvanceIsExactInverseOfActiveTime) {
+  const SliceSchedule s = sched();
+  sim::Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const SimTime t = rng.uniform_u64(50 * s.slice());
+    const SimDuration w = 1 + rng.uniform_u64(5 * s.window_length());
+    const SimTime done = s.advance(t, w);
+    ASSERT_EQ(s.active_time(t, done), w) << "t=" << t << " w=" << w;
+    ASSERT_LT(s.active_time(t, done - 1), w) << "minimality violated";
+  }
+}
+
+TEST_P(SchedulePropertyTest, ActiveTimeIsAdditive) {
+  const SliceSchedule s = sched();
+  sim::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    SimTime a = rng.uniform_u64(20 * s.slice());
+    SimTime b = a + rng.uniform_u64(20 * s.slice());
+    SimTime c = b + rng.uniform_u64(20 * s.slice());
+    ASSERT_EQ(s.active_time(a, b) + s.active_time(b, c),
+              s.active_time(a, c));
+  }
+}
+
+TEST_P(SchedulePropertyTest, ActiveTimePerSliceEqualsWindow) {
+  const SliceSchedule s = sched();
+  for (SimTime k = 0; k < 5; ++k) {
+    EXPECT_EQ(s.active_time(k * s.slice(), (k + 1) * s.slice()),
+              s.window_length());
+  }
+}
+
+TEST_P(SchedulePropertyTest, NextActivePointsIntoWindow) {
+  const SliceSchedule s = sched();
+  sim::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const SimTime t = rng.uniform_u64(30 * s.slice());
+    const SimTime na = s.next_active(t);
+    ASSERT_GE(na, t);
+    ASSERT_TRUE(s.is_active(na));
+    // Nothing active strictly between t and na: active time is zero there.
+    ASSERT_EQ(s.active_time(t, na), 0u);
+  }
+}
+
+TEST_P(SchedulePropertyTest, IsActiveIsPeriodic) {
+  const SliceSchedule s = sched();
+  sim::Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const SimTime t = rng.uniform_u64(10 * s.slice());
+    ASSERT_EQ(s.is_active(t), s.is_active(t + 7 * s.slice()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SchedulePropertyTest,
+    ::testing::Values(
+        ScheduleShape{10_ms, 0, 10_ms},        // uncapped
+        ScheduleShape{10_ms, 0, 5_ms},         // 50% cap
+        ScheduleShape{10_ms, 0, 100_us},       // 1% cap
+        ScheduleShape{10_ms, 2_ms, 7_ms},      // shared-PCPU middle window
+        ScheduleShape{10_ms, 9_ms, 10_ms},     // trailing window
+        ScheduleShape{10_ms, 0, 1},            // 1 ns sliver
+        ScheduleShape{30_ms, 12_ms, 18_ms},    // non-default slice
+        ScheduleShape{1_ms, 333_us, 777_us}),  // odd offsets
+    [](const ::testing::TestParamInfo<ScheduleShape>& info) {
+      return "slice" + std::to_string(info.param.slice / 1000) + "us_w" +
+             std::to_string(info.param.begin / 1000) + "to" +
+             std::to_string(info.param.end / 1000);
+    });
+
+}  // namespace
+}  // namespace resex::hv

@@ -1,0 +1,135 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace resex::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a = Rng::stream(7, 0);
+  Rng b = Rng::stream(7, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, StreamsAreReproducible) {
+  Rng a = Rng::stream(7, 3);
+  Rng b = Rng::stream(7, 3);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform(5.0, 9.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng r(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformU64CoversRangeWithoutBias) {
+  Rng r(6);
+  std::array<int, 5> counts{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) counts[r.uniform_u64(5)] += 1;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 5.0, n * 0.02);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(7);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(250.0);
+  EXPECT_NEAR(sum / n, 250.0, 5.0);
+}
+
+TEST(Rng, ExponentialIsNonNegative) {
+  Rng r(8);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(r.exponential(1.0), 0.0);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(9);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng r(10);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(r.pareto(1.5, 2.0), 2.0);
+}
+
+TEST(Rng, ParetoMeanForAlphaAboveOne) {
+  // E[X] = alpha*xmin/(alpha-1) for alpha>1; use alpha=3 for low variance.
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += r.pareto(3.0, 1.0);
+  EXPECT_NEAR(sum / n, 1.5, 0.02);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng r(12);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(SplitMix64, KnownFirstOutputsDiffer) {
+  SplitMix64 a(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(a.next());
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+}  // namespace
+}  // namespace resex::sim

@@ -1,0 +1,175 @@
+#include "trace/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace resex::trace {
+namespace {
+
+using namespace resex::sim::literals;
+
+TEST(ArrivalProcess, RejectsBadConfig) {
+  EXPECT_THROW(ArrivalProcess({.rate_per_sec = 0.0}, sim::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(ArrivalProcess({.kind = ArrivalKind::kBursty,
+                               .rate_per_sec = 100.0, .pareto_shape = 1.0},
+                              sim::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(ArrivalProcess, FixedRateWithoutJitterIsDeterministic) {
+  ArrivalProcess p({.kind = ArrivalKind::kFixedRate, .rate_per_sec = 1000.0,
+                    .jitter_frac = 0.0},
+                   sim::Rng(1));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(p.next_gap(), 1_ms);
+}
+
+TEST(ArrivalProcess, FixedRateJitterBoundedAndMeanPreserving) {
+  ArrivalProcess p({.kind = ArrivalKind::kFixedRate, .rate_per_sec = 1000.0,
+                    .jitter_frac = 0.1},
+                   sim::Rng(1));
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto g = p.next_gap();
+    EXPECT_GE(g, 900_us);
+    EXPECT_LE(g, 1100_us);
+    sum += static_cast<double>(g);
+  }
+  EXPECT_NEAR(sum / n, 1e6, 1e3);
+}
+
+TEST(ArrivalProcess, InitialPhaseWithinOneGap) {
+  ArrivalProcess p({.kind = ArrivalKind::kFixedRate, .rate_per_sec = 1000.0},
+                   sim::Rng(2));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(p.initial_phase(), 1_ms);
+  }
+}
+
+TEST(ArrivalProcess, PoissonMeanMatchesRate) {
+  ArrivalProcess p({.kind = ArrivalKind::kPoisson, .rate_per_sec = 5000.0},
+                   sim::Rng(2));
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(p.next_gap());
+  EXPECT_NEAR(sum / n, 200000.0, 3000.0);  // 200 us mean gap
+}
+
+TEST(ArrivalProcess, BurstyMeanMatchesRateButHeavierTail) {
+  ArrivalProcess p({.kind = ArrivalKind::kBursty, .rate_per_sec = 1000.0,
+                    .pareto_shape = 1.8},
+                   sim::Rng(3));
+  double sum = 0.0, max_gap = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    const double g = static_cast<double>(p.next_gap());
+    sum += g;
+    max_gap = std::max(max_gap, g);
+  }
+  EXPECT_NEAR(sum / n, 1e6, 8e4);      // ~1 ms mean gap
+  EXPECT_GT(max_gap, 20e6);            // heavy tail: >20x the mean appears
+}
+
+TEST(RequestMix, RejectsBadEntries) {
+  EXPECT_THROW(RequestMix({}), std::invalid_argument);
+  EXPECT_THROW(
+      RequestMix({{finance::RequestKind::kQuote, 5, 2, 1.0}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      RequestMix({{finance::RequestKind::kQuote, 0, 2, 1.0}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      RequestMix({{finance::RequestKind::kQuote, 1, 2, 0.0}}),
+      std::invalid_argument);
+}
+
+TEST(RequestMix, SampleRespectsInstrumentRange) {
+  RequestMix mix({{finance::RequestKind::kTrade, 3, 7, 1.0}});
+  sim::Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const auto d = mix.sample(rng);
+    EXPECT_EQ(d.kind, finance::RequestKind::kTrade);
+    EXPECT_GE(d.instruments, 3u);
+    EXPECT_LE(d.instruments, 7u);
+  }
+}
+
+TEST(RequestMix, WeightsApproximatelyHonoured) {
+  RequestMix mix({{finance::RequestKind::kQuote, 1, 1, 3.0},
+                  {finance::RequestKind::kTrade, 1, 1, 1.0}});
+  sim::Rng rng(5);
+  int quotes = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (mix.sample(rng).kind == finance::RequestKind::kQuote) ++quotes;
+  }
+  EXPECT_NEAR(static_cast<double>(quotes) / n, 0.75, 0.01);
+}
+
+TEST(RequestMix, ExchangeDefaultShape) {
+  const auto mix = RequestMix::exchange_default();
+  ASSERT_EQ(mix.entries().size(), 3u);
+  EXPECT_EQ(mix.entries()[0].kind, finance::RequestKind::kQuote);
+  EXPECT_GT(mix.entries()[0].weight, mix.entries()[1].weight);
+}
+
+TEST(GenerateTrace, CoversDurationAndIsSorted) {
+  const auto trace =
+      generate_trace({.kind = ArrivalKind::kPoisson, .rate_per_sec = 2000.0},
+                     RequestMix::exchange_default(), 1_s, 11);
+  ASSERT_GT(trace.size(), 1500u);
+  ASSERT_LT(trace.size(), 2500u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].at, trace[i - 1].at);
+  }
+  EXPECT_LT(trace.back().at, 1_s);
+}
+
+TEST(GenerateTrace, DeterministicPerSeed) {
+  const auto a =
+      generate_trace({.rate_per_sec = 500.0}, RequestMix::exchange_default(),
+                     100_ms, 7);
+  const auto b =
+      generate_trace({.rate_per_sec = 500.0}, RequestMix::exchange_default(),
+                     100_ms, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].instruments, b[i].instruments);
+  }
+}
+
+TEST(TraceIo, SaveLoadRoundTrip) {
+  const std::string path = "/tmp/resex_trace_test.csv";
+  const auto trace =
+      generate_trace({.rate_per_sec = 1000.0}, RequestMix::exchange_default(),
+                     50_ms, 13);
+  save_trace(trace, path);
+  const auto loaded = load_trace(path);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded[i].at, trace[i].at);
+    EXPECT_EQ(loaded[i].kind, trace[i].kind);
+    EXPECT_EQ(loaded[i].instruments, trace[i].instruments);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadRejectsGarbage) {
+  const std::string path = "/tmp/resex_trace_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "at_ns,kind,instruments\n1,9,abc\n";
+  }
+  EXPECT_THROW((void)load_trace(path), std::runtime_error);
+  EXPECT_THROW((void)load_trace("/nonexistent/file.csv"),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace resex::trace
