@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_epoch_interval"
+  "../bench/bench_abl_epoch_interval.pdb"
+  "CMakeFiles/bench_abl_epoch_interval.dir/abl_epoch_interval.cpp.o"
+  "CMakeFiles/bench_abl_epoch_interval.dir/abl_epoch_interval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_epoch_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

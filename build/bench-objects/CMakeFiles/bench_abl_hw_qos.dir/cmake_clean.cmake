@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_hw_qos"
+  "../bench/bench_abl_hw_qos.pdb"
+  "CMakeFiles/bench_abl_hw_qos.dir/abl_hw_qos.cpp.o"
+  "CMakeFiles/bench_abl_hw_qos.dir/abl_hw_qos.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_hw_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_ibmon_sampling"
+  "../bench/bench_abl_ibmon_sampling.pdb"
+  "CMakeFiles/bench_abl_ibmon_sampling.dir/abl_ibmon_sampling.cpp.o"
+  "CMakeFiles/bench_abl_ibmon_sampling.dir/abl_ibmon_sampling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_ibmon_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_policy_params"
+  "../bench/bench_abl_policy_params.pdb"
+  "CMakeFiles/bench_abl_policy_params.dir/abl_policy_params.cpp.o"
+  "CMakeFiles/bench_abl_policy_params.dir/abl_policy_params.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_policy_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_latency_distribution"
+  "../bench/bench_fig1_latency_distribution.pdb"
+  "CMakeFiles/bench_fig1_latency_distribution.dir/fig1_latency_distribution.cpp.o"
+  "CMakeFiles/bench_fig1_latency_distribution.dir/fig1_latency_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_latency_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_multi_server"
+  "../bench/bench_fig2_multi_server.pdb"
+  "CMakeFiles/bench_fig2_multi_server.dir/fig2_multi_server.cpp.o"
+  "CMakeFiles/bench_fig2_multi_server.dir/fig2_multi_server.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_multi_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

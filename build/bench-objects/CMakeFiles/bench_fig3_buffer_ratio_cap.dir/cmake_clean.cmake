@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_buffer_ratio_cap"
+  "../bench/bench_fig3_buffer_ratio_cap.pdb"
+  "CMakeFiles/bench_fig3_buffer_ratio_cap.dir/fig3_buffer_ratio_cap.cpp.o"
+  "CMakeFiles/bench_fig3_buffer_ratio_cap.dir/fig3_buffer_ratio_cap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_buffer_ratio_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

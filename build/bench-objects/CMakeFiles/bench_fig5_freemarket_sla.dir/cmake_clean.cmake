@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_freemarket_sla"
+  "../bench/bench_fig5_freemarket_sla.pdb"
+  "CMakeFiles/bench_fig5_freemarket_sla.dir/fig5_freemarket_sla.cpp.o"
+  "CMakeFiles/bench_fig5_freemarket_sla.dir/fig5_freemarket_sla.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_freemarket_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_freemarket_resos"
+  "../bench/bench_fig6_freemarket_resos.pdb"
+  "CMakeFiles/bench_fig6_freemarket_resos.dir/fig6_freemarket_resos.cpp.o"
+  "CMakeFiles/bench_fig6_freemarket_resos.dir/fig6_freemarket_resos.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_freemarket_resos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

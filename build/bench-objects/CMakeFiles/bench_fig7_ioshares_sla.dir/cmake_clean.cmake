@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_ioshares_sla"
+  "../bench/bench_fig7_ioshares_sla.pdb"
+  "CMakeFiles/bench_fig7_ioshares_sla.dir/fig7_ioshares_sla.cpp.o"
+  "CMakeFiles/bench_fig7_ioshares_sla.dir/fig7_ioshares_sla.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ioshares_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

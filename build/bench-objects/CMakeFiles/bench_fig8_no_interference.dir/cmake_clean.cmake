@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_no_interference"
+  "../bench/bench_fig8_no_interference.pdb"
+  "CMakeFiles/bench_fig8_no_interference.dir/fig8_no_interference.cpp.o"
+  "CMakeFiles/bench_fig8_no_interference.dir/fig8_no_interference.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_no_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trading_exchange.dir/trading_exchange.cpp.o"
+  "CMakeFiles/example_trading_exchange.dir/trading_exchange.cpp.o.d"
+  "example_trading_exchange"
+  "example_trading_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trading_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart_runs]=] "/root/repo/build/examples/example_quickstart")
+set_tests_properties([=[example_quickstart_runs]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_noisy_neighbor_runs]=] "/root/repo/build/examples/example_noisy_neighbor")
+set_tests_properties([=[example_noisy_neighbor_runs]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_trading_exchange_runs]=] "/root/repo/build/examples/example_trading_exchange")
+set_tests_properties([=[example_trading_exchange_runs]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_custom_policy_runs]=] "/root/repo/build/examples/example_custom_policy")
+set_tests_properties([=[example_custom_policy_runs]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_trace_replay_runs]=] "/root/repo/build/examples/example_trace_replay")
+set_tests_properties([=[example_trace_replay_runs]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchex/client.cpp" "src/benchex/CMakeFiles/resex_benchex.dir/client.cpp.o" "gcc" "src/benchex/CMakeFiles/resex_benchex.dir/client.cpp.o.d"
+  "/root/repo/src/benchex/deployment.cpp" "src/benchex/CMakeFiles/resex_benchex.dir/deployment.cpp.o" "gcc" "src/benchex/CMakeFiles/resex_benchex.dir/deployment.cpp.o.d"
+  "/root/repo/src/benchex/server.cpp" "src/benchex/CMakeFiles/resex_benchex.dir/server.cpp.o" "gcc" "src/benchex/CMakeFiles/resex_benchex.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/resex_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/finance/CMakeFiles/resex_finance.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/resex_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/resex_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/resex_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/resex_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

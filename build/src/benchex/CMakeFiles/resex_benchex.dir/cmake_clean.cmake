@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resex_benchex.dir/client.cpp.o"
+  "CMakeFiles/resex_benchex.dir/client.cpp.o.d"
+  "CMakeFiles/resex_benchex.dir/deployment.cpp.o"
+  "CMakeFiles/resex_benchex.dir/deployment.cpp.o.d"
+  "CMakeFiles/resex_benchex.dir/server.cpp.o"
+  "CMakeFiles/resex_benchex.dir/server.cpp.o.d"
+  "libresex_benchex.a"
+  "libresex_benchex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resex_benchex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for resex_benchex.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resex_core.dir/controller.cpp.o"
+  "CMakeFiles/resex_core.dir/controller.cpp.o.d"
+  "CMakeFiles/resex_core.dir/detector.cpp.o"
+  "CMakeFiles/resex_core.dir/detector.cpp.o.d"
+  "CMakeFiles/resex_core.dir/experiment.cpp.o"
+  "CMakeFiles/resex_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/resex_core.dir/policies.cpp.o"
+  "CMakeFiles/resex_core.dir/policies.cpp.o.d"
+  "CMakeFiles/resex_core.dir/resos.cpp.o"
+  "CMakeFiles/resex_core.dir/resos.cpp.o.d"
+  "libresex_core.a"
+  "libresex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

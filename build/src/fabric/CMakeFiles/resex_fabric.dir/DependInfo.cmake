@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/channel.cpp" "src/fabric/CMakeFiles/resex_fabric.dir/channel.cpp.o" "gcc" "src/fabric/CMakeFiles/resex_fabric.dir/channel.cpp.o.d"
+  "/root/repo/src/fabric/completion_queue.cpp" "src/fabric/CMakeFiles/resex_fabric.dir/completion_queue.cpp.o" "gcc" "src/fabric/CMakeFiles/resex_fabric.dir/completion_queue.cpp.o.d"
+  "/root/repo/src/fabric/hca.cpp" "src/fabric/CMakeFiles/resex_fabric.dir/hca.cpp.o" "gcc" "src/fabric/CMakeFiles/resex_fabric.dir/hca.cpp.o.d"
+  "/root/repo/src/fabric/queue_pair.cpp" "src/fabric/CMakeFiles/resex_fabric.dir/queue_pair.cpp.o" "gcc" "src/fabric/CMakeFiles/resex_fabric.dir/queue_pair.cpp.o.d"
+  "/root/repo/src/fabric/types.cpp" "src/fabric/CMakeFiles/resex_fabric.dir/types.cpp.o" "gcc" "src/fabric/CMakeFiles/resex_fabric.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/resex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/resex_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/resex_hv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resex_fabric.dir/channel.cpp.o"
+  "CMakeFiles/resex_fabric.dir/channel.cpp.o.d"
+  "CMakeFiles/resex_fabric.dir/completion_queue.cpp.o"
+  "CMakeFiles/resex_fabric.dir/completion_queue.cpp.o.d"
+  "CMakeFiles/resex_fabric.dir/hca.cpp.o"
+  "CMakeFiles/resex_fabric.dir/hca.cpp.o.d"
+  "CMakeFiles/resex_fabric.dir/queue_pair.cpp.o"
+  "CMakeFiles/resex_fabric.dir/queue_pair.cpp.o.d"
+  "CMakeFiles/resex_fabric.dir/types.cpp.o"
+  "CMakeFiles/resex_fabric.dir/types.cpp.o.d"
+  "libresex_fabric.a"
+  "libresex_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resex_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

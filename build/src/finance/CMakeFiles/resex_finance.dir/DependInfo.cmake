@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/finance/binomial.cpp" "src/finance/CMakeFiles/resex_finance.dir/binomial.cpp.o" "gcc" "src/finance/CMakeFiles/resex_finance.dir/binomial.cpp.o.d"
+  "/root/repo/src/finance/black_scholes.cpp" "src/finance/CMakeFiles/resex_finance.dir/black_scholes.cpp.o" "gcc" "src/finance/CMakeFiles/resex_finance.dir/black_scholes.cpp.o.d"
+  "/root/repo/src/finance/monte_carlo.cpp" "src/finance/CMakeFiles/resex_finance.dir/monte_carlo.cpp.o" "gcc" "src/finance/CMakeFiles/resex_finance.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/finance/workload.cpp" "src/finance/CMakeFiles/resex_finance.dir/workload.cpp.o" "gcc" "src/finance/CMakeFiles/resex_finance.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/resex_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resex_finance.dir/binomial.cpp.o"
+  "CMakeFiles/resex_finance.dir/binomial.cpp.o.d"
+  "CMakeFiles/resex_finance.dir/black_scholes.cpp.o"
+  "CMakeFiles/resex_finance.dir/black_scholes.cpp.o.d"
+  "CMakeFiles/resex_finance.dir/monte_carlo.cpp.o"
+  "CMakeFiles/resex_finance.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/resex_finance.dir/workload.cpp.o"
+  "CMakeFiles/resex_finance.dir/workload.cpp.o.d"
+  "libresex_finance.a"
+  "libresex_finance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resex_finance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/schedule_model.cpp" "src/hv/CMakeFiles/resex_hv.dir/schedule_model.cpp.o" "gcc" "src/hv/CMakeFiles/resex_hv.dir/schedule_model.cpp.o.d"
+  "/root/repo/src/hv/scheduler.cpp" "src/hv/CMakeFiles/resex_hv.dir/scheduler.cpp.o" "gcc" "src/hv/CMakeFiles/resex_hv.dir/scheduler.cpp.o.d"
+  "/root/repo/src/hv/vcpu.cpp" "src/hv/CMakeFiles/resex_hv.dir/vcpu.cpp.o" "gcc" "src/hv/CMakeFiles/resex_hv.dir/vcpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/resex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/resex_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

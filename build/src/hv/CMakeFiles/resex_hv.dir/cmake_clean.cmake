@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resex_hv.dir/schedule_model.cpp.o"
+  "CMakeFiles/resex_hv.dir/schedule_model.cpp.o.d"
+  "CMakeFiles/resex_hv.dir/scheduler.cpp.o"
+  "CMakeFiles/resex_hv.dir/scheduler.cpp.o.d"
+  "CMakeFiles/resex_hv.dir/vcpu.cpp.o"
+  "CMakeFiles/resex_hv.dir/vcpu.cpp.o.d"
+  "libresex_hv.a"
+  "libresex_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resex_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resex_ibmon.dir/ibmon.cpp.o"
+  "CMakeFiles/resex_ibmon.dir/ibmon.cpp.o.d"
+  "libresex_ibmon.a"
+  "libresex_ibmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resex_ibmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resex_mem.dir/tpt.cpp.o"
+  "CMakeFiles/resex_mem.dir/tpt.cpp.o.d"
+  "libresex_mem.a"
+  "libresex_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resex_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

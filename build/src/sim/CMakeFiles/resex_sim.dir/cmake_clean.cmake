@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resex_sim.dir/report.cpp.o"
+  "CMakeFiles/resex_sim.dir/report.cpp.o.d"
+  "CMakeFiles/resex_sim.dir/simulation.cpp.o"
+  "CMakeFiles/resex_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/resex_sim.dir/stats.cpp.o"
+  "CMakeFiles/resex_sim.dir/stats.cpp.o.d"
+  "libresex_sim.a"
+  "libresex_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resex_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resex_trace.dir/workload.cpp.o"
+  "CMakeFiles/resex_trace.dir/workload.cpp.o.d"
+  "libresex_trace.a"
+  "libresex_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resex_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

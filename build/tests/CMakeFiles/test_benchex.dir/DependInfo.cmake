@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/benchex/test_benchex.cpp" "tests/CMakeFiles/test_benchex.dir/benchex/test_benchex.cpp.o" "gcc" "tests/CMakeFiles/test_benchex.dir/benchex/test_benchex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/resex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchex/CMakeFiles/resex_benchex.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/resex_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/finance/CMakeFiles/resex_finance.dir/DependInfo.cmake"
+  "/root/repo/build/src/ibmon/CMakeFiles/resex_ibmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/resex_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/resex_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/resex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/resex_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

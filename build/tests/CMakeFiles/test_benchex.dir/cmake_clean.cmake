@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchex.dir/benchex/test_benchex.cpp.o"
+  "CMakeFiles/test_benchex.dir/benchex/test_benchex.cpp.o.d"
+  "test_benchex"
+  "test_benchex.pdb"
+  "test_benchex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

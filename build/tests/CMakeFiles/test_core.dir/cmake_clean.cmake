@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_controller.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_controller.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_detector.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_detector.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_experiment.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_experiment.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_policies.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_policies.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_resos.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_resos.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

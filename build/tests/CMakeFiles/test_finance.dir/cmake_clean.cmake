@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_finance.dir/finance/test_black_scholes.cpp.o"
+  "CMakeFiles/test_finance.dir/finance/test_black_scholes.cpp.o.d"
+  "CMakeFiles/test_finance.dir/finance/test_pricing_models.cpp.o"
+  "CMakeFiles/test_finance.dir/finance/test_pricing_models.cpp.o.d"
+  "test_finance"
+  "test_finance.pdb"
+  "test_finance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_finance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_finance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hv/test_node.cpp" "tests/CMakeFiles/test_hv.dir/hv/test_node.cpp.o" "gcc" "tests/CMakeFiles/test_hv.dir/hv/test_node.cpp.o.d"
+  "/root/repo/tests/hv/test_schedule_model.cpp" "tests/CMakeFiles/test_hv.dir/hv/test_schedule_model.cpp.o" "gcc" "tests/CMakeFiles/test_hv.dir/hv/test_schedule_model.cpp.o.d"
+  "/root/repo/tests/hv/test_scheduler.cpp" "tests/CMakeFiles/test_hv.dir/hv/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/test_hv.dir/hv/test_scheduler.cpp.o.d"
+  "/root/repo/tests/hv/test_vcpu.cpp" "tests/CMakeFiles/test_hv.dir/hv/test_vcpu.cpp.o" "gcc" "tests/CMakeFiles/test_hv.dir/hv/test_vcpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/CMakeFiles/resex_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/resex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/resex_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

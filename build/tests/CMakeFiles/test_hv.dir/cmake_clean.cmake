@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hv.dir/hv/test_node.cpp.o"
+  "CMakeFiles/test_hv.dir/hv/test_node.cpp.o.d"
+  "CMakeFiles/test_hv.dir/hv/test_schedule_model.cpp.o"
+  "CMakeFiles/test_hv.dir/hv/test_schedule_model.cpp.o.d"
+  "CMakeFiles/test_hv.dir/hv/test_scheduler.cpp.o"
+  "CMakeFiles/test_hv.dir/hv/test_scheduler.cpp.o.d"
+  "CMakeFiles/test_hv.dir/hv/test_vcpu.cpp.o"
+  "CMakeFiles/test_hv.dir/hv/test_vcpu.cpp.o.d"
+  "test_hv"
+  "test_hv.pdb"
+  "test_hv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

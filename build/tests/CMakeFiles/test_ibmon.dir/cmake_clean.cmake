@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ibmon.dir/ibmon/test_ibmon.cpp.o"
+  "CMakeFiles/test_ibmon.dir/ibmon/test_ibmon.cpp.o.d"
+  "test_ibmon"
+  "test_ibmon.pdb"
+  "test_ibmon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ibmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/properties/test_e2e_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_e2e_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_fabric_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_fabric_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_failure_injection.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_failure_injection.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_multinode.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_multinode.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_policy_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_policy_properties.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_schedule_properties.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_schedule_properties.cpp.o.d"
+  "test_properties"
+  "test_properties.pdb"
+  "test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

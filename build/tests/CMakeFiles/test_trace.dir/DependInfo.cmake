@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/test_workload.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_workload.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/resex_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/finance/CMakeFiles/resex_finance.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/resex_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
