@@ -4,39 +4,59 @@
 // MTU-rate I/O), so shorter epochs replenish more often: throttling
 // episodes are shorter but more frequent. This bench quantifies the effect
 // on the reporting VM's latency and the interferer's throughput.
+//
+// Runner-backed: the four epoch points run in parallel (--jobs) with
+// optional seed replication (--seeds) and --json/--csv export.
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace resex;
   using namespace resex::bench;
 
-  print_scenario_header(
-      "Ablation A1: FreeMarket epoch-length sensitivity",
-      "Epoch swept 250ms..2s (interval fixed at 1ms; allocations scale "
-      "with the epoch).");
+  const auto opts = parse_cli(argc, argv);
 
-  sim::Table table({"epoch_ms", "client_us", "server_total_us",
-                    "intf_MBps", "min_cap_2MB"});
-  for (const std::uint64_t epoch_ms : {250ULL, 500ULL, 1000ULL, 2000ULL}) {
-    auto cfg = figure_config();
-    cfg.duration = 2400_ms;
-    cfg.policy = core::PolicyKind::kFreeMarket;
-    cfg.baseline_mean_us = 150.0;
-    cfg.resos.epoch = epoch_ms * sim::kMillisecond;
-    const double epoch_sec = static_cast<double>(epoch_ms) / 1000.0;
-    cfg.resos.cpu_resos_per_epoch =
-        100.0 * static_cast<double>(cfg.resos.intervals_per_epoch());
-    cfg.resos.io_resos_per_epoch_total = 1024.0 * 1024.0 * epoch_sec;
-    const auto r = core::run_scenario(cfg);
-    double min_cap = 100.0;
-    for (const auto& rec : r.timeline) {
-      if (rec.vm == r.interferer_vm_id) min_cap = std::min(min_cap, rec.cap);
-    }
-    table.add_row({num(epoch_ms), num(r.reporting[0].client_mean_us),
-                   num(r.reporting[0].total_us), num(r.interferer_mbps),
-                   num(min_cap)});
-  }
-  table.print(std::cout);
-  return 0;
+  auto base = figure_config();
+  base.duration = 2400_ms;
+  base.policy = core::PolicyKind::kFreeMarket;
+  base.baseline_mean_us = 150.0;
+
+  runner::Sweep sweep(base);
+  sweep.axis("epoch_ms", {250.0, 500.0, 1000.0, 2000.0},
+             [](core::ScenarioConfig& c, double epoch_ms) {
+               c.resos.epoch =
+                   static_cast<std::uint64_t>(epoch_ms) * sim::kMillisecond;
+               c.resos.cpu_resos_per_epoch =
+                   100.0 *
+                   static_cast<double>(c.resos.intervals_per_epoch());
+               c.resos.io_resos_per_epoch_total =
+                   1024.0 * 1024.0 * (epoch_ms / 1000.0);
+             });
+
+  std::vector<runner::Metric> metrics{
+      {"client_us",
+       [](const core::ScenarioResult& r) {
+         return r.reporting[0].client_mean_us;
+       }},
+      {"server_total_us",
+       [](const core::ScenarioResult& r) { return r.reporting[0].total_us; }},
+      {"intf_MBps",
+       [](const core::ScenarioResult& r) { return r.interferer_mbps; }},
+      {"min_cap_2MB",
+       [](const core::ScenarioResult& r) {
+         double min_cap = 100.0;
+         for (const auto& rec : r.timeline) {
+           if (rec.vm == r.interferer_vm_id) {
+             min_cap = std::min(min_cap, rec.cap);
+           }
+         }
+         return min_cap;
+       }},
+  };
+
+  return run_figure_bench(
+      opts, "Ablation A1: FreeMarket epoch-length sensitivity",
+      "Epoch swept 250ms..2s (interval fixed at 1ms; allocations scale "
+      "with the epoch).",
+      sweep, std::move(metrics));
 }

@@ -5,61 +5,84 @@
 // provisioned (what limit?) and wastes fabric when the bully is idle;
 // IOShares discovers the right throttle from latency feedback. This bench
 // puts both on the same scenario.
+//
+// Runner-backed via generic points (the hardware rows program the HCA's
+// token buckets directly): mechanisms run in parallel (--jobs), replicated
+// over derived seeds (--seeds), exported with --json/--csv.
 
 #include "bench_common.hpp"
+#include "core/testbed.hpp"
+#include "sim/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace resex;
   using namespace resex::bench;
 
-  print_scenario_header(
-      "Ablation A4: hardware per-flow rate limit vs ResEx",
-      "64KB reporting VM vs 2MB interferer; hardware token-bucket limits "
-      "on the interferer's uplink flow vs the IOShares policy.");
+  const auto opts = parse_cli(argc, argv);
 
-  sim::Table table({"mechanism", "param", "client_us", "server_total_us",
-                    "intf_MBps"});
+  std::vector<runner::GenericPoint> points;
 
-  auto run_hw = [&](double limit_mbps) {
-    core::Testbed tb;
-    auto rep_cfg = core::reporting_config();
-    rep_cfg.metrics_start = 100_ms;
-    auto& rep = tb.deploy_pair(rep_cfg, "rep");
-    auto intf_cfg = core::interferer_config();
-    intf_cfg.metrics_start = 100_ms;
-    auto& intf = tb.deploy_pair(intf_cfg, "intf");
-    if (limit_mbps > 0.0) {
-      tb.hca_a().uplink().set_flow_rate_limit(
-          intf.server().endpoint().qp->num(), limit_mbps * 1e6);
-    }
-    tb.sim().run_until(1300_ms);
-    const double mbps =
-        static_cast<double>(intf.server().endpoint().qp->bytes_sent()) /
-        1.3 / 1e6;
-    table.add_row({txt(limit_mbps > 0 ? "hw-rate-limit" : "none"),
-                   txt(limit_mbps > 0
-                           ? std::to_string(static_cast<int>(limit_mbps)) +
-                                 "MB/s"
-                           : "-"),
-                   num(rep.client().metrics().latency_us.mean()),
-                   num(rep.server().metrics().total_us.mean()), num(mbps)});
+  auto hw_point = [](double limit_mbps) {
+    runner::GenericPoint p;
+    p.label = limit_mbps > 0
+                  ? "hw-rate-limit " +
+                        sim::format_double(limit_mbps) + "MB/s"
+                  : "none";
+    p.params = {{"mechanism", limit_mbps > 0 ? "hw-rate-limit" : "none"},
+                {"limit_MBps", sim::format_double(limit_mbps)}};
+    p.run = [limit_mbps](std::uint64_t seed) {
+      core::Testbed tb;
+      auto rep_cfg =
+          core::reporting_config(64 * 1024, 2000.0, sim::derive(seed, 0));
+      rep_cfg.metrics_start = 100_ms;
+      auto& rep = tb.deploy_pair(rep_cfg, "rep");
+      auto intf_cfg =
+          core::interferer_config(2 * 1024 * 1024, 2, sim::derive(seed, 100));
+      intf_cfg.metrics_start = 100_ms;
+      auto& intf = tb.deploy_pair(intf_cfg, "intf");
+      if (limit_mbps > 0.0) {
+        tb.hca_a().uplink().set_flow_rate_limit(
+            intf.server().endpoint().qp->num(), limit_mbps * 1e6);
+      }
+      tb.sim().run_until(1300_ms);
+      const double mbps =
+          static_cast<double>(intf.server().endpoint().qp->bytes_sent()) /
+          1.3 / 1e6;
+      return std::vector<double>{rep.client().metrics().latency_us.mean(),
+                                 rep.server().metrics().total_us.mean(), mbps};
+    };
+    return p;
   };
 
-  run_hw(0.0);
-  for (const double limit : {500.0, 250.0, 125.0}) run_hw(limit);
+  points.push_back(hw_point(0.0));
+  for (const double limit : {500.0, 250.0, 125.0}) {
+    points.push_back(hw_point(limit));
+  }
 
-  auto ios_cfg = figure_config();
-  ios_cfg.policy = core::PolicyKind::kIOShares;
-  const auto ios = core::run_scenario(ios_cfg);
-  table.add_row({txt("resex-ioshares"), txt("sla=15%"),
-                 num(ios.reporting[0].client_mean_us),
-                 num(ios.reporting[0].total_us),
-                 num(ios.interferer_mbps)});
-  table.print(std::cout);
+  {
+    runner::GenericPoint ios;
+    ios.label = "resex-ioshares sla=15%";
+    ios.params = {{"mechanism", "resex-ioshares"}, {"sla_pct", "15"}};
+    ios.run = [](std::uint64_t seed) {
+      auto cfg = figure_config();
+      cfg.seed = seed;
+      cfg.policy = core::PolicyKind::kIOShares;
+      const auto r = core::run_scenario(cfg);
+      return std::vector<double>{r.reporting[0].client_mean_us,
+                                 r.reporting[0].total_us, r.interferer_mbps};
+    };
+    points.push_back(std::move(ios));
+  }
+
+  const int rc = run_generic_bench(
+      opts, "Ablation A4: hardware per-flow rate limit vs ResEx",
+      "64KB reporting VM vs 2MB interferer; hardware token-bucket limits "
+      "on the interferer's uplink flow vs the IOShares policy.",
+      std::move(points), {"client_us", "server_total_us", "intf_MBps"});
 
   std::cout << "\nHardware limits isolate at any provisioned rate, but the "
                "operator must\npick the number; IOShares converges to a "
                "comparable operating point\nfrom the SLA alone, and releases "
                "the throttle when interference stops\n(see Figure 8).\n";
-  return 0;
+  return rc;
 }

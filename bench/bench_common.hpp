@@ -1,12 +1,19 @@
 #pragma once
 // Shared helpers for the figure-reproduction benches: each bench prints the
 // series of one figure from the paper's Section VII as an aligned table on
-// stdout (machine-readable CSV can be produced with Table::save_csv).
+// stdout. Sweep-style benches run on resex::runner (parallel trials,
+// --seeds K replication with derived seed streams, --json/--csv export);
+// run_figure_bench / run_generic_bench below are the shared drivers.
 
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/experiment.hpp"
+#include "runner/runner.hpp"
 #include "sim/report.hpp"
 
 namespace resex::bench {
@@ -40,6 +47,96 @@ inline void print_scenario_header(const std::string& figure,
                                   const std::string& what) {
   sim::print_heading(std::cout, figure);
   std::cout << what << "\n\n";
+}
+
+/// Parse the standard runner CLI; on --help or a bad flag, prints to the
+/// right stream and exits. Returns the options otherwise.
+inline runner::RunnerOptions parse_cli(int argc, char** argv) {
+  runner::RunnerOptions opts;
+  try {
+    opts = runner::parse_options(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << argv[0] << ": " << e.what() << "\n";
+    runner::print_usage(std::cerr, argv[0]);
+    std::exit(2);
+  }
+  if (opts.help) {
+    runner::print_usage(std::cout, argv[0]);
+    std::exit(0);
+  }
+  return opts;
+}
+
+/// Write the --json/--csv exports; an unwritable path must not abort the
+/// process after the experiment already ran, so report it and fail the exit
+/// code instead (the table is already on stdout by then).
+inline int save_exports(const runner::ResultSink& sink,
+                        const runner::RunnerOptions& opts, const auto& outcomes,
+                        const char* bench) {
+  int rc = 0;
+  for (const auto& [path, kind] :
+       {std::pair{opts.json_path, 'j'}, std::pair{opts.csv_path, 'c'}}) {
+    if (path.empty()) continue;
+    try {
+      kind == 'j' ? sink.save_json(path, outcomes)
+                  : sink.save_csv(path, outcomes);
+    } catch (const std::exception& e) {
+      std::cerr << bench << ": " << e.what() << "\n";
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+/// Timing goes to stderr, never into the table or the exported files, so a
+/// parallel run's outputs stay byte-identical to a serial run's.
+inline void report_timing(std::size_t points, std::size_t seeds,
+                          std::size_t jobs, double wall_ms) {
+  std::cerr << "# runner: " << points << " points x " << seeds << " seeds = "
+            << points * seeds << " trials, jobs=" << jobs << ", "
+            << static_cast<long long>(wall_ms) << " ms\n";
+}
+
+/// Shared driver for runner-backed figure benches: runs the sweep under the
+/// CLI options, prints the aggregate table (mean per metric, ±95% CI
+/// columns when --seeds > 1), and writes the --json/--csv exports.
+inline int run_figure_bench(const runner::RunnerOptions& opts,
+                            const std::string& figure, const std::string& what,
+                            const runner::Sweep& sweep,
+                            std::vector<runner::Metric> metrics) {
+  print_scenario_header(figure, what);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto outcomes = runner::run_sweep(sweep.points(), opts);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  const runner::ResultSink sink(std::move(metrics));
+  sink.table(outcomes).print(std::cout);
+  const int rc = save_exports(sink, opts, outcomes, figure.c_str());
+  report_timing(outcomes.size(), opts.seeds, opts.resolved_jobs(), wall_ms);
+  return rc;
+}
+
+/// As run_figure_bench, but for benches whose trials are not a single
+/// run_scenario call (generic seed -> metric-values points).
+inline int run_generic_bench(const runner::RunnerOptions& opts,
+                             const std::string& figure,
+                             const std::string& what,
+                             std::vector<runner::GenericPoint> points,
+                             std::vector<std::string> metric_names) {
+  print_scenario_header(figure, what);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto outcomes = runner::run_generic(std::move(points), opts);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  const auto sink = runner::ResultSink::named(std::move(metric_names));
+  sink.table(outcomes).print(std::cout);
+  const int rc = save_exports(sink, opts, outcomes, figure.c_str());
+  report_timing(outcomes.size(), opts.seeds, opts.resolved_jobs(), wall_ms);
+  return rc;
 }
 
 }  // namespace resex::bench

@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "sim/rng.hpp"
+
 namespace resex::core {
 
 const char* to_string(PolicyKind k) noexcept {
@@ -70,8 +72,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   // --- deploy the workloads --------------------------------------------------
   std::vector<benchex::BenchPair*> reporting;
   for (std::uint32_t i = 0; i < config.reporting_count; ++i) {
-    auto cfg = reporting_config(config.reporting_buffer,
-                                config.reporting_rate, config.seed + i);
+    auto cfg = reporting_config(config.reporting_buffer, config.reporting_rate,
+                                sim::derive(config.seed, i));
     cfg.arrivals.kind = config.reporting_arrivals;
     cfg.metrics_start = config.warmup;
     reporting.push_back(
@@ -81,8 +83,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
 
   benchex::BenchPair* interferer = nullptr;
   if (config.with_interferer) {
+    // Stream id 100 keeps the interferer's draws clear of the reporting VMs'
+    // (ids 0..count-1) for any plausible reporting_count.
     auto cfg = interferer_config(config.intf_buffer, config.intf_depth,
-                                 config.seed + 100);
+                                 sim::derive(config.seed, 100));
     if (config.intf_rate > 0.0) {
       cfg.mode = benchex::LoadMode::kOpenLoop;
       cfg.arrivals = {.kind = trace::ArrivalKind::kFixedRate,

@@ -50,3 +50,5 @@
 #include "core/policies.hpp"    // IWYU pragma: export
 #include "core/resos.hpp"       // IWYU pragma: export
 #include "core/testbed.hpp"     // IWYU pragma: export
+
+#include "runner/runner.hpp"  // IWYU pragma: export

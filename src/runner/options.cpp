@@ -1,0 +1,85 @@
+#include "runner/options.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <stdexcept>
+#include <string_view>
+#include <thread>
+
+namespace resex::runner {
+
+std::size_t RunnerOptions::resolved_jobs() const {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+namespace {
+
+std::uint64_t parse_u64(std::string_view flag, std::string_view text) {
+  std::uint64_t value = 0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size()) {
+    throw std::invalid_argument(std::string(flag) + ": expected an integer, got '" +
+                                std::string(text) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+RunnerOptions parse_options(int argc, const char* const* argv) {
+  RunnerOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    std::string_view value;
+    bool has_inline_value = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_inline_value = true;
+    }
+    auto take_value = [&]() -> std::string_view {
+      if (has_inline_value) return value;
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(std::string(arg) + ": missing value");
+      }
+      return argv[++i];
+    };
+
+    if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else if (arg == "--jobs" || arg == "-j") {
+      opts.jobs = static_cast<std::size_t>(parse_u64(arg, take_value()));
+      if (opts.jobs == 0) throw std::invalid_argument("--jobs: must be >= 1");
+    } else if (arg == "--seeds") {
+      opts.seeds = static_cast<std::size_t>(parse_u64(arg, take_value()));
+      if (opts.seeds == 0) throw std::invalid_argument("--seeds: must be >= 1");
+    } else if (arg == "--seed") {
+      opts.seed = parse_u64(arg, take_value());
+    } else if (arg == "--json") {
+      opts.json_path = std::string(take_value());
+    } else if (arg == "--csv") {
+      opts.csv_path = std::string(take_value());
+    } else {
+      throw std::invalid_argument("unknown option '" + std::string(arg) +
+                                  "' (see --help)");
+    }
+  }
+  return opts;
+}
+
+void print_usage(std::ostream& os, const std::string& prog) {
+  os << "usage: " << prog << " [--jobs N] [--seeds K] [--seed S]"
+     << " [--json PATH] [--csv PATH]\n"
+     << "  --jobs N    worker threads (default: hardware concurrency)\n"
+     << "  --seeds K   replicates per sweep point with derived seeds"
+     << " (default 1)\n"
+     << "  --seed S    base seed to derive replicate streams from\n"
+     << "  --json PATH write per-trial + aggregate results as JSON\n"
+     << "  --csv PATH  write the aggregate table as CSV\n"
+     << "Per-trial results are byte-identical for any --jobs value.\n";
+}
+
+}  // namespace resex::runner

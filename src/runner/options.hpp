@@ -1,0 +1,37 @@
+#pragma once
+// The CLI surface shared by every runner-driven bench:
+//   --jobs N     worker threads (default: hardware concurrency)
+//   --seeds K    independent replicates per sweep point (default 1)
+//   --seed S     override the base seed the replicate streams derive from
+//   --json PATH  write the structured result document (resex.runner/v1)
+//   --csv PATH   write the aggregate table as CSV
+// Results are byte-identical for any --jobs value; only wall-clock changes.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+namespace resex::runner {
+
+struct RunnerOptions {
+  std::size_t jobs = 0;  // 0 = auto (hardware concurrency)
+  std::size_t seeds = 1;
+  std::optional<std::uint64_t> seed;  // unset = keep each config's own seed
+  std::string json_path;              // empty = no JSON export
+  std::string csv_path;               // empty = no CSV export
+  bool help = false;
+
+  /// The worker count actually used: jobs, or hardware concurrency (>= 1).
+  [[nodiscard]] std::size_t resolved_jobs() const;
+};
+
+/// Parse argv. Throws std::invalid_argument with a one-line message on
+/// unknown flags or malformed values. Accepts both "--flag value" and
+/// "--flag=value".
+[[nodiscard]] RunnerOptions parse_options(int argc, const char* const* argv);
+
+void print_usage(std::ostream& os, const std::string& prog);
+
+}  // namespace resex::runner

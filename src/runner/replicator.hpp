@@ -1,0 +1,77 @@
+#pragma once
+// Replicator: runs every sweep point N times with independent deterministic
+// seed streams (trial r of a point uses sim::derive(config.seed, r)) and
+// returns outcomes ordered by (point, replicate) — the same order a serial
+// loop would produce, whatever the pool size. Aggregate summarizes one
+// metric across a point's replicates: mean, sample stddev, exact p50/p99,
+// and a 95% Student-t confidence half-width.
+//
+// GenericPoint/GenericOutcome cover benches whose trials are not a single
+// core::run_scenario call (e.g. the hardware-QoS ablation programs the HCA
+// directly): a generic trial maps a seed to a vector of metric values.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runner/sweep.hpp"
+#include "runner/thread_pool.hpp"
+#include "runner/trial.hpp"
+
+namespace resex::runner {
+
+struct Aggregate {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample stddev (n-1); 0 when n < 2
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double ci95 = 0.0;  // confidence half-width; 0 when n < 2
+};
+
+[[nodiscard]] Aggregate aggregate(const std::vector<double>& values);
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom
+/// (tabulated to df=30, 1.96 asymptote beyond).
+[[nodiscard]] double student_t95(std::size_t df);
+
+/// All trials of one sweep point, ordered by replicate index.
+struct PointOutcome {
+  SweepPoint point;
+  std::vector<ExperimentResult> trials;
+};
+
+/// A point whose trial is an arbitrary seed -> metric-values function.
+struct GenericPoint {
+  std::string label;
+  std::vector<Param> params;
+  std::uint64_t seed = 1;  // base seed; replicates derive from it
+  std::function<std::vector<double>(std::uint64_t seed)> run;
+};
+
+struct GenericOutcome {
+  std::string label;
+  std::vector<Param> params;
+  std::vector<std::uint64_t> seeds;              // per replicate
+  std::vector<std::vector<double>> trial_values;  // [replicate][metric]
+};
+
+class Replicator {
+ public:
+  /// `seeds` independent replicates per point (coerced to at least one).
+  Replicator(ThreadPool& pool, std::size_t seeds);
+
+  [[nodiscard]] std::vector<PointOutcome> run(
+      const std::vector<SweepPoint>& points) const;
+
+  [[nodiscard]] std::vector<GenericOutcome> run_generic(
+      const std::vector<GenericPoint>& points) const;
+
+  [[nodiscard]] std::size_t seeds() const noexcept { return seeds_; }
+
+ private:
+  ThreadPool* pool_;
+  std::size_t seeds_;
+};
+
+}  // namespace resex::runner

@@ -1,0 +1,88 @@
+#pragma once
+// ResultSink: structured export of replicated sweep results — aligned
+// console tables (via sim::Table), CSV, and a deterministic JSON document
+// (schema "resex.runner/v1") suitable for the BENCH_*.json perf trajectory.
+// No wall-clock times, hostnames, or unordered containers appear in the
+// output, so a parallel run's files are byte-identical to a serial run's.
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runner/replicator.hpp"
+#include "sim/report.hpp"
+
+namespace resex::runner {
+
+/// Named scalar extracted from a finished scenario for tables and export.
+struct Metric {
+  std::string name;
+  std::function<double(const core::ScenarioResult&)> extract;
+};
+
+class ResultSink {
+ public:
+  explicit ResultSink(std::vector<Metric> metrics);
+
+  /// Sink for generic outcomes, which carry raw values instead of scenarios.
+  static ResultSink named(std::vector<std::string> metric_names);
+
+  [[nodiscard]] const std::vector<std::string>& metric_names() const noexcept {
+    return names_;
+  }
+
+  /// Per-point, per-metric aggregates (ordered as the outcomes are).
+  [[nodiscard]] std::vector<std::vector<Aggregate>> aggregates(
+      const std::vector<PointOutcome>& outcomes) const;
+  [[nodiscard]] std::vector<std::vector<Aggregate>> aggregates(
+      const std::vector<GenericOutcome>& outcomes) const;
+
+  /// Aligned table: one row per point, mean per metric; when any point has
+  /// 2+ replicates, each metric also gets a "<name>_ci95" half-width column.
+  [[nodiscard]] sim::Table table(
+      const std::vector<PointOutcome>& outcomes) const;
+  [[nodiscard]] sim::Table table(
+      const std::vector<GenericOutcome>& outcomes) const;
+
+  void write_json(std::ostream& os,
+                  const std::vector<PointOutcome>& outcomes) const;
+  void write_json(std::ostream& os,
+                  const std::vector<GenericOutcome>& outcomes) const;
+
+  /// File variants; throw std::runtime_error on I/O failure.
+  void save_json(const std::string& path,
+                 const std::vector<PointOutcome>& outcomes) const;
+  void save_json(const std::string& path,
+                 const std::vector<GenericOutcome>& outcomes) const;
+  void save_csv(const std::string& path,
+                const std::vector<PointOutcome>& outcomes) const;
+  void save_csv(const std::string& path,
+                const std::vector<GenericOutcome>& outcomes) const;
+
+ private:
+  /// Rows of raw per-trial metric values for one point, [replicate][metric].
+  struct PointView {
+    const std::string* label;
+    const std::vector<Param>* params;
+    std::vector<std::uint64_t> seeds;
+    std::vector<std::vector<double>> values;
+  };
+
+  [[nodiscard]] std::vector<PointView> view(
+      const std::vector<PointOutcome>& outcomes) const;
+  [[nodiscard]] static std::vector<PointView> view(
+      const std::vector<GenericOutcome>& outcomes);
+
+  [[nodiscard]] std::vector<std::vector<Aggregate>> aggregate_views(
+      const std::vector<PointView>& views) const;
+  [[nodiscard]] sim::Table table_views(
+      const std::vector<PointView>& views) const;
+  void write_json_views(std::ostream& os,
+                        const std::vector<PointView>& views) const;
+
+  std::vector<Metric> metrics_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace resex::runner

@@ -1,0 +1,15 @@
+#include "runner/trial.hpp"
+
+namespace resex::runner {
+
+ExperimentResult run_trial(const Trial& trial) {
+  ExperimentResult r;
+  r.index = trial.index;
+  r.point = trial.point;
+  r.replicate = trial.replicate;
+  r.seed = trial.config.seed;
+  r.scenario = core::run_scenario(trial.config);
+  return r;
+}
+
+}  // namespace resex::runner

@@ -1,0 +1,35 @@
+#pragma once
+// Trial: the unit of work the runner schedules. One (ScenarioConfig, seed)
+// pair, positioned by (point, replicate) inside a sweep; running it yields
+// an ExperimentResult. Trials share no mutable state — each one builds its
+// own Testbed inside core::run_scenario — so any number of them can execute
+// concurrently and still produce results identical to a serial run.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/experiment.hpp"
+
+namespace resex::runner {
+
+struct Trial {
+  std::size_t index = 0;      // global position; fixes result ordering
+  std::size_t point = 0;      // sweep-point index
+  std::size_t replicate = 0;  // seed-replicate index within the point
+  core::ScenarioConfig config;  // config.seed already derived for this trial
+};
+
+/// Outcome of one trial: the full scenario result plus the coordinates and
+/// seed needed to reproduce it in isolation.
+struct ExperimentResult {
+  std::size_t index = 0;
+  std::size_t point = 0;
+  std::size_t replicate = 0;
+  std::uint64_t seed = 0;
+  core::ScenarioResult scenario;
+};
+
+/// Run one trial to completion (wraps core::run_scenario).
+[[nodiscard]] ExperimentResult run_trial(const Trial& trial);
+
+}  // namespace resex::runner

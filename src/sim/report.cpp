@@ -1,5 +1,8 @@
 #include "sim/report.hpp"
 
+#include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
@@ -21,6 +24,36 @@ std::string format_cell(const Cell& c, int precision) {
     std::string operator()(const std::string& s) const { return s; }
   };
   return std::visit(Visitor{precision}, c);
+}
+
+std::string format_double(double v) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, end);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
 }
 
 namespace {
@@ -92,6 +125,42 @@ void Table::write_csv(std::ostream& os, int precision) const {
       os << (c == 0 ? "" : ",") << csv_escape(format_cell(row[c], precision));
     }
     os << '\n';
+  }
+}
+
+void Table::write_json(std::ostream& os) const {
+  struct JsonCell {
+    std::string operator()(std::monostate) const { return "null"; }
+    std::string operator()(std::int64_t v) const { return std::to_string(v); }
+    std::string operator()(double v) const {
+      // JSON has no NaN/Infinity literals.
+      if (!std::isfinite(v)) return "null";
+      return format_double(v);
+    }
+    std::string operator()(const std::string& s) const {
+      return "\"" + json_escape(s) + "\"";
+    }
+  };
+  os << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << (c == 0 ? "" : ", ") << "\"" << json_escape(columns_[c])
+         << "\": " << std::visit(JsonCell{}, rows_[r][c]);
+    }
+    os << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+void Table::save_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("Table::save_json: cannot open " + path);
+  }
+  write_json(out);
+  if (!out) {
+    throw std::runtime_error("Table::save_json: write failed for " + path);
   }
 }
 

@@ -15,6 +15,14 @@ using Cell = std::variant<std::monostate, std::int64_t, double, std::string>;
 /// Format a cell: integers plain, doubles with 2 decimals, empty as "".
 std::string format_cell(const Cell& c, int precision = 2);
 
+/// Shortest decimal rendering of `v` that round-trips to the same double
+/// (std::to_chars). Deterministic across runs: the runner's exported files
+/// rely on this to stay byte-identical between serial and parallel runs.
+std::string format_double(double v);
+
+/// Escape a string for embedding in a JSON document (no surrounding quotes).
+std::string json_escape(const std::string& s);
+
 /// Accumulates rows and renders them either as CSV or as an aligned table.
 class Table {
  public:
@@ -39,6 +47,14 @@ class Table {
 
   /// Write CSV to a file path; throws std::runtime_error on I/O failure.
   void save_csv(const std::string& path, int precision = 6) const;
+
+  /// Render as a JSON array of row objects keyed by column name. Integers
+  /// and doubles become JSON numbers (shortest round-trip form), empty cells
+  /// become null. Byte-deterministic for identical tables.
+  void write_json(std::ostream& os) const;
+
+  /// Write JSON to a file path; throws std::runtime_error on I/O failure.
+  void save_json(const std::string& path) const;
 
  private:
   std::vector<std::string> columns_;

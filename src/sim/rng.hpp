@@ -30,6 +30,19 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Seed-splitting: expand (base_seed, index) into an independent child seed.
+/// The affine index injection is injective in `index` for a fixed base (the
+/// multiplier is odd), and the SplitMix64 finalizer decorrelates neighbouring
+/// indices, so derive(s, 0), derive(s, 1), ... are reproducible, collision-
+/// free, statistically independent streams. Used for per-VM streams inside a
+/// scenario and for the runner's replicated trials (trial r of a sweep point
+/// runs with derive(config.seed, r)).
+[[nodiscard]] constexpr std::uint64_t derive(std::uint64_t base_seed,
+                                             std::uint64_t index) {
+  SplitMix64 sm(base_seed ^ (0xD2B74407B1CE6E93ULL * (index + 1)));
+  return sm.next();
+}
+
 /// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
 class Rng {
  public:
@@ -41,9 +54,7 @@ class Rng {
   /// Derive an independent stream: same seed + different stream ids give
   /// decorrelated generators (used to give each component its own stream).
   [[nodiscard]] static Rng stream(std::uint64_t seed, std::uint64_t stream_id) {
-    SplitMix64 sm(seed ^ (0xD2B74407B1CE6E93ULL * (stream_id + 1)));
-    Rng r(sm.next());
-    return r;
+    return Rng(derive(seed, stream_id));
   }
 
   std::uint64_t next_u64() {

@@ -82,6 +82,45 @@ TEST(Table, RowAccessors) {
   EXPECT_THROW((void)t.row(3), std::out_of_range);
 }
 
+TEST(FormatDouble, ShortestRoundTrip) {
+  EXPECT_EQ(format_double(100.0), "100");
+  EXPECT_EQ(format_double(3.125), "3.125");
+  EXPECT_EQ(format_double(0.1), "0.1");
+  EXPECT_EQ(format_double(-2.5), "-2.5");
+}
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+}
+
+TEST(Table, JsonBasic) {
+  Table t({"name", "value", "empty"});
+  t.add_row({Cell{std::string{"x"}}, Cell{2.5}, Cell{std::monostate{}}});
+  t.add_row({Cell{std::string{"y"}}, Cell{std::int64_t{7}}, Cell{1.0}});
+  std::ostringstream os;
+  t.write_json(os);
+  EXPECT_EQ(os.str(),
+            "[\n"
+            "  {\"name\": \"x\", \"value\": 2.5, \"empty\": null},\n"
+            "  {\"name\": \"y\", \"value\": 7, \"empty\": 1}\n"
+            "]\n");
+}
+
+TEST(Table, SaveJsonRoundTrips) {
+  const std::string path = "/tmp/resex_test_table.json";
+  Table t({"col"});
+  t.add_row({Cell{std::int64_t{7}}});
+  t.save_json(path);
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "[\n  {\"col\": 7}\n]\n");
+  std::remove(path.c_str());
+  EXPECT_THROW(t.save_json("/nonexistent-dir/x.json"), std::runtime_error);
+}
+
 TEST(PrintHeading, ContainsTitle) {
   std::ostringstream os;
   print_heading(os, "Figure 1");
