@@ -113,7 +113,15 @@ inline int run_figure_bench(const runner::RunnerOptions& opts,
           .count();
   const runner::ResultSink sink(std::move(metrics));
   sink.table(outcomes).print(std::cout);
-  const int rc = save_exports(sink, opts, outcomes, figure.c_str());
+  int rc = save_exports(sink, opts, outcomes, figure.c_str());
+  if (!opts.metrics_path.empty()) {
+    try {
+      runner::save_metrics_json(opts.metrics_path, outcomes);
+    } catch (const std::exception& e) {
+      std::cerr << figure << ": " << e.what() << "\n";
+      rc = 1;
+    }
+  }
   report_timing(outcomes.size(), opts.seeds, opts.resolved_jobs(), wall_ms);
   return rc;
 }
@@ -126,6 +134,12 @@ inline int run_generic_bench(const runner::RunnerOptions& opts,
                              std::vector<runner::GenericPoint> points,
                              std::vector<std::string> metric_names) {
   print_scenario_header(figure, what);
+  if (!opts.trace_path.empty() || !opts.metrics_path.empty()) {
+    // Generic trials are opaque seed -> values functions; they do not run
+    // through core::run_scenario, so there is no simulation to observe.
+    std::cerr << figure
+              << ": --trace/--metrics-json are ignored by generic benches\n";
+  }
   const auto t0 = std::chrono::steady_clock::now();
   const auto outcomes = runner::run_generic(std::move(points), opts);
   const double wall_ms =

@@ -41,6 +41,11 @@ sim::Task ResExController::run() {
     if (intervals_ != 0 && intervals_ % per_epoch == 0) {
       ledger_.replenish();
       policy_->on_epoch_start(ledger_);
+      sim.metrics().counter("core.epochs").add();
+      RESEX_TRACE_INSTANT(
+          sim.tracer(), "resex.epoch", "core",
+          {"epoch",
+           static_cast<double>(intervals_ / per_epoch)});
     }
     run_interval();
     ++intervals_;
@@ -48,6 +53,10 @@ sim::Task ResExController::run() {
 }
 
 void ResExController::run_interval() {
+  auto& sim = node_->simulation();
+  RESEX_TRACE_SPAN(sim.tracer(), "resex.interval", "core",
+                   {"vms", static_cast<double>(tracked_.size())});
+  sim.metrics().counter("core.intervals").add();
   const auto per_epoch = ledger_.config().intervals_per_epoch();
   const double epoch_remaining =
       1.0 - static_cast<double>(intervals_ % per_epoch) /
@@ -86,7 +95,14 @@ void ResExController::run_interval() {
     if (decision.new_cap.has_value() &&
         *decision.new_cap != obs.current_cap) {
       xenstat_.set_cap(obs.id, *decision.new_cap);
+      sim.metrics().counter("core.cap_adjustments").add();
+      RESEX_TRACE_INSTANT(sim.tracer(), "resex.cap", "core",
+                          {"vm", static_cast<double>(obs.id)},
+                          {"cap_pct", *decision.new_cap});
     }
+    RESEX_TRACE_INSTANT(sim.tracer(), "resex.price", "core",
+                        {"vm", static_cast<double>(obs.id)},
+                        {"charge_rate", ledger_.charge_rate(obs.id)});
     if (config_.record_timeline) {
       TimelineRecord rec;
       rec.at = node_->simulation().now();

@@ -1,5 +1,6 @@
 #include "core/experiment.hpp"
 
+#include <iostream>
 #include <memory>
 
 #include "sim/rng.hpp"
@@ -61,6 +62,10 @@ double measure_base_total_us(ScenarioConfig config) {
   config.with_interferer = false;
   config.policy = PolicyKind::kNone;
   config.duration = 300 * sim::kMillisecond;
+  // The baseline probe runs nested inside run_scenario: it must not write
+  // over the outer trial's trace file or pollute its metrics snapshot.
+  config.trace_path.clear();
+  config.collect_metrics = false;
   const auto result = run_scenario(config);
   return result.reporting.at(0).total_us;
 }
@@ -68,6 +73,7 @@ double measure_base_total_us(ScenarioConfig config) {
 ScenarioResult run_scenario(const ScenarioConfig& config) {
   Testbed tb;
   ScenarioResult result;
+  if (!config.trace_path.empty()) tb.sim().tracer().enable();
 
   // --- deploy the workloads --------------------------------------------------
   std::vector<benchex::BenchPair*> reporting;
@@ -160,6 +166,30 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   }
   if (controller != nullptr) {
     result.timeline = controller->timeline();
+  }
+  if (config.collect_metrics) {
+    result.metrics = tb.sim().metrics().snapshot(tb.sim().now());
+  }
+  if (tb.sim().tracer().enabled()) {
+    // Frame the trace: a top-level core span for the whole scenario and one
+    // for the warmup (these are the newest events, so they survive any ring
+    // wrap and every trace shows the harness layer even without a policy).
+    tb.sim().tracer().complete(
+        "scenario.warmup", "core", 0, config.warmup,
+        {"seed", static_cast<double>(config.seed)});
+    tb.sim().tracer().complete(
+        "scenario", "core", 0, tb.sim().now(),
+        {"seed", static_cast<double>(config.seed)},
+        {"reporting_vms", static_cast<double>(config.reporting_count)});
+  }
+  if (!config.trace_path.empty()) {
+    try {
+      obs::save_trace(config.trace_path, tb.sim().tracer());
+    } catch (const std::exception& e) {
+      // The scenario itself succeeded; losing the trace is not worth losing
+      // the results over.
+      std::cerr << "run_scenario: " << e.what() << "\n";
+    }
   }
   return result;
 }

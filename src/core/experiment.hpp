@@ -11,6 +11,7 @@
 
 #include "core/controller.hpp"
 #include "core/testbed.hpp"
+#include "obs/metrics.hpp"
 
 namespace resex::core {
 
@@ -69,6 +70,16 @@ struct ScenarioConfig {
   sim::SimDuration warmup = 100 * sim::kMillisecond;
   sim::SimDuration duration = sim::kSecond;
   std::uint64_t seed = 1;
+
+  // Observability (resex::obs).
+  /// When non-empty, enable the sim-time tracer for this run and write the
+  /// recorded events here at the end (Chrome trace_event JSON; a ".jsonl"
+  /// suffix selects JSONL). A failed write is reported on stderr but does
+  /// not fail the scenario.
+  std::string trace_path;
+  /// When true, snapshot the simulation's metrics registry into
+  /// ScenarioResult::metrics after the run.
+  bool collect_metrics = false;
 };
 
 /// Per-VM outcome of a scenario.
@@ -99,6 +110,8 @@ struct ScenarioResult {
   hv::DomainId interferer_vm_id = 0;  // interferer server domain
   /// Measured (or configured) SLA baseline used by the detector.
   double baseline_mean_us = 0.0;
+  /// End-of-run metrics snapshot (empty unless collect_metrics was set).
+  obs::MetricsSnapshot metrics;
 };
 
 /// Run one scenario to completion and summarize it.

@@ -9,7 +9,23 @@ namespace resex::fabric {
 
 Channel::Channel(sim::Simulation& sim, const FabricConfig& config,
                  std::string name)
-    : sim_(sim), config_(config), name_(std::move(name)) {}
+    : sim_(sim), config_(config), name_(std::move(name)) {
+  // Pull-style gauges: evaluated only when a driver snapshots the registry,
+  // so the packet path pays nothing for them. The channel outlives any
+  // snapshot taken while its scenario runs.
+  const std::string prefix = "fabric." + name_;
+  auto& metrics = sim_.metrics();
+  metrics.gauge_fn(prefix + ".packets_sent", [this] {
+    return static_cast<double>(packets_sent_);
+  });
+  metrics.gauge_fn(prefix + ".bytes_sent",
+                   [this] { return static_cast<double>(bytes_sent_); });
+  metrics.gauge_fn(prefix + ".busy_ns",
+                   [this] { return static_cast<double>(busy_time_); });
+  metrics.gauge_fn(prefix + ".backlog_packets", [this] {
+    return static_cast<double>(backlog_packets());
+  });
+}
 
 Channel::Flow& Channel::flow_for(QpNum qp) {
   for (auto& f : flows_) {
@@ -76,6 +92,14 @@ void Channel::enqueue(detail::Packet pkt) {
   if (!sink_) {
     throw std::logic_error("Channel '" + name_ + "': no sink connected");
   }
+  if (sim_.tracer().enabled()) {
+    sim_.tracer().instant(
+        "pkt.enqueue", "fabric",
+        {"qp", static_cast<double>(pkt.transfer->src_qp->num())},
+        {"bytes", static_cast<double>(pkt.bytes)});
+    sim_.tracer().counter(name_.c_str(), "backlog",
+                          static_cast<double>(backlog_packets() + 1));
+  }
   flow_for(pkt.transfer->src_qp->num()).packets.push_back(std::move(pkt));
   if (!busy_) try_start();
 }
@@ -137,6 +161,13 @@ void Channel::try_start() {
     busy_time_ += tx;
     ++packets_sent_;
     bytes_sent_ += pkt.bytes;
+    if (sim_.tracer().enabled()) {
+      sim_.tracer().instant("pkt.tx", "fabric",
+                            {"qp", static_cast<double>(f.qp)},
+                            {"bytes", static_cast<double>(pkt.bytes)});
+      sim_.tracer().counter(name_.c_str(), "backlog",
+                            static_cast<double>(backlog_packets()));
+    }
     sim_.schedule_in(tx, [this, pkt = std::move(pkt)]() mutable {
       busy_ = false;
       sim_.schedule_in(config_.propagation_delay,

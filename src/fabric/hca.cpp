@@ -19,6 +19,12 @@ Hca::Hca(Fabric& fabric, hv::Node& node, std::uint32_t hca_id)
                                         node.name() + "/down");
   uplink_->set_sink([f = fabric_](detail::Packet p) { f->route(std::move(p)); });
   downlink_->set_sink([this](detail::Packet p) { on_packet(std::move(p)); });
+  // Fabric-wide aggregates (same entries for every HCA on this simulation),
+  // resolved once so the data path only touches raw counters.
+  auto& metrics = sim.metrics();
+  transfers_done_ = &metrics.counter("fabric.transfers");
+  rnr_retries_ = &metrics.counter("fabric.rnr_retries");
+  wire_latency_ns_ = &metrics.histogram("fabric.wire_latency_ns");
 }
 
 std::uint32_t Hca::alloc_pd(hv::Domain& domain) {
@@ -93,7 +99,9 @@ void Hca::validate_post(const QueuePair& qp, const SendWr& wr) const {
   if (qp.state() != QpState::kReadyToSend) {
     throw std::logic_error("Hca::post_send: QP not connected");
   }
-  if (wr.header.size() > wr.length && wr.length != 0) {
+  // No zero-length exemption: a non-empty header on a zero-byte message
+  // would make dma_header write bytes the TPT only validated for length 0.
+  if (wr.header.size() > wr.length) {
     throw std::invalid_argument("Hca::post_send: header longer than message");
   }
 }
@@ -152,6 +160,7 @@ void Hca::start_transfer(QueuePair& src, QueuePair& dst, SendWr wr,
   t->dst_qp = &dst;
   t->total_packets = cfg.packets_for(t->wire_length);
   t->read_response = read_response;
+  t->started_at = fabric_->simulation().now();
   src.account_sent(t->wire_length);
 
   for (std::uint32_t i = 0; i < t->total_packets; ++i) {
@@ -165,6 +174,19 @@ void Hca::start_transfer(QueuePair& src, QueuePair& dst, SendWr wr,
 void Hca::on_packet(detail::Packet pkt) {
   if (++pkt.transfer->delivered_packets < pkt.transfer->total_packets) {
     return;
+  }
+  // Last packet in: the message's wire phase is over (retries and CQE
+  // delivery happen after this point and are traced separately).
+  detail::Transfer& t = *pkt.transfer;
+  auto& sim = fabric_->simulation();
+  transfers_done_->add();
+  wire_latency_ns_->observe(sim.now() - t.started_at);
+  if (sim.tracer().enabled()) {
+    sim.tracer().complete(
+        t.read_response ? "transfer.read_resp" : "transfer", "fabric",
+        t.started_at, sim.now() - t.started_at,
+        {"qp", static_cast<double>(t.src_qp->num())},
+        {"bytes", static_cast<double>(t.wire_length)});
   }
   deliver(pkt.transfer);
 }
@@ -198,6 +220,10 @@ bool Hca::retry_rnr(const std::shared_ptr<detail::Transfer>& t) {
     return false;
   }
   ++t->rnr_retries_used;
+  rnr_retries_->add();
+  RESEX_TRACE_INSTANT(fabric_->simulation().tracer(), "rnr.retry", "fabric",
+                      {"qp", static_cast<double>(t->dst_qp->num())},
+                      {"attempt", static_cast<double>(t->rnr_retries_used)});
   fabric_->simulation().schedule_in(cfg.rnr_retry_delay,
                                     [this, t] { deliver(t); });
   return true;

@@ -112,6 +112,11 @@ class Hca {
   std::unordered_map<std::uint32_t, hv::DomainId> cq_domain_;
   std::deque<std::unique_ptr<QueuePair>> qps_;
   std::uint32_t next_pd_ = 1;
+  // Metric handles resolved once at construction so the data path never does
+  // a by-name registry lookup (shared across HCAs: fabric-wide aggregates).
+  obs::Counter* transfers_done_;
+  obs::Counter* rnr_retries_;
+  obs::Histogram* wire_latency_ns_;
 };
 
 /// The fabric: configuration, the switch, and the set of attached HCAs.

@@ -170,6 +170,8 @@ struct Transfer {
   bool read_response = false;
   /// RNR retries already spent at the target.
   std::uint32_t rnr_retries_used = 0;
+  /// Sim time the first packet was enqueued (wire-latency span start).
+  sim::SimTime started_at = 0;
 };
 
 /// One MTU on the wire.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 namespace resex::hv {
@@ -72,6 +73,10 @@ void CreditScheduler::set_cap(Vcpu& vcpu, double cap_pct) {
   const double clamped = std::clamp(cap_pct, config_.min_cap_pct, 100.0);
   if (clamped == st.cap_pct) return;
   st.cap_pct = clamped;
+  sim_.metrics().counter("hv.cap_changes").add();
+  RESEX_TRACE_INSTANT(sim_.tracer(), "sched.cap", "hv",
+                      {"pcpu", static_cast<double>(st.pcpu)},
+                      {"cap_pct", clamped});
   relayout(st.pcpu);
 }
 
@@ -140,24 +145,81 @@ void CreditScheduler::relayout(std::uint32_t pcpu) {
     if (!newly_capped) break;  // nothing limited the distribution this round
   }
 
-  // Lay windows back-to-back in pin order; enforce a floor of one microsecond
-  // so every VCPU can make progress.
-  const auto slice = static_cast<double>(config_.slice);
-  SimDuration cursor = 0;
+  // Convert shares to window lengths with largest-remainder rounding, which
+  // conserves the allocated time exactly. (The per-window clamp-and-clip
+  // this replaces could overlap windows and sum past the slice once many
+  // VCPUs or tiny caps pushed the cursor over the end.)
+  const SimDuration slice = config_.slice;
+  const auto slice_d = static_cast<double>(slice);
+  std::vector<SimDuration> len(n, 0);
+  std::vector<double> frac(n, 0.0);
+  double ideal_total = 0.0;
+  SimDuration floor_total = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    auto len = static_cast<SimDuration>(std::llround(alloc[i] * slice));
-    len = std::clamp<SimDuration>(len, sim::kMicrosecond, config_.slice);
-    if (cursor + len > config_.slice) {
-      // Rounding overshoot: shrink, keeping at least a 1 ns sliver so the
-      // schedule stays valid.
-      len = cursor < config_.slice ? config_.slice - cursor : 1;
-      if (cursor >= config_.slice) cursor = config_.slice - 1;
-    }
-    const SimDuration begin = cursor;
-    const SimDuration end = begin + len;
-    cursor = end;
-    pinned[i]->update_schedule(SliceSchedule(config_.slice, begin, end));
+    const double ideal = std::clamp(alloc[i], 0.0, 1.0) * slice_d;
+    ideal_total += ideal;
+    const double whole = std::floor(ideal);
+    len[i] = static_cast<SimDuration>(whole);
+    frac[i] = ideal - whole;
+    floor_total += len[i];
   }
+  const auto target = std::min<SimDuration>(
+      slice, static_cast<SimDuration>(std::llround(ideal_total)));
+  // Hand the ns lost to flooring back, largest fractional part first
+  // (ties break toward the earlier pin slot).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&frac](std::size_t a, std::size_t b) {
+                     return frac[a] > frac[b];
+                   });
+  for (SimDuration extra = target > floor_total ? target - floor_total : 0;
+       extra > 0;) {
+    for (std::size_t j = 0; j < n && extra > 0; ++j, --extra) {
+      ++len[order[j]];
+    }
+  }
+
+  // Progress floor: every VCPU gets at least a microsecond, shrunk to an
+  // equal split when the PCPU is too crowded for that, so n * floor never
+  // exceeds the slice. The raise is paid for by shaving the largest windows,
+  // keeping the total in-slice instead of pushing windows past the end.
+  const auto floor_len = std::max<SimDuration>(
+      1, std::min<SimDuration>(sim::kMicrosecond, slice / n));
+  SimDuration deficit = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (len[i] < floor_len) {
+      deficit += floor_len - len[i];
+      len[i] = floor_len;
+    }
+  }
+  while (deficit > 0) {
+    const std::size_t big = static_cast<std::size_t>(
+        std::max_element(len.begin(), len.end()) - len.begin());
+    const SimDuration take = std::min(deficit, len[big] - floor_len);
+    if (take == 0) break;  // everything at the floor already; total <= slice
+    len[big] -= take;
+    deficit -= take;
+  }
+
+  // Lay the windows back-to-back in pin order: disjoint by construction.
+  SimDuration cursor = 0;
+  std::vector<SimDuration> begin(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    begin[i] = cursor;
+    cursor += len[i];
+  }
+  if (cursor > slice) {
+    // Conservation invariant: explicit check (NDEBUG builds drop assert()).
+    throw std::logic_error("CreditScheduler::relayout: layout exceeds slice");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    pinned[i]->update_schedule(
+        SliceSchedule(slice, begin[i], begin[i] + len[i]));
+  }
+  RESEX_TRACE_INSTANT(sim_.tracer(), "sched.relayout", "hv",
+                      {"pcpu", static_cast<double>(pcpu)},
+                      {"vcpus", static_cast<double>(n)});
 }
 
 }  // namespace resex::hv

@@ -16,7 +16,7 @@ void Vcpu::checkpoint() {
 }
 
 void Vcpu::enqueue(SimDuration work, std::coroutine_handle<> h) {
-  queue_.push_back(WorkItem{work, h});
+  queue_.push_back(WorkItem{work, h, sim_.now()});
   if (!active_) start_next();
 }
 
@@ -26,6 +26,12 @@ void Vcpu::start_next() {
   active_ = queue_.front();
   queue_.pop_front();
   work_segment_start_ = sim_.now();
+  active_since_ = sim_.now();
+  if (sim_.tracer().enabled() && active_since_ > active_->enqueued_at) {
+    sim_.tracer().complete("vcpu.wait", "hv", active_->enqueued_at,
+                           active_since_ - active_->enqueued_at,
+                           {"vcpu", static_cast<double>(id_)});
+  }
   plan_completion();
 }
 
@@ -36,6 +42,11 @@ void Vcpu::plan_completion() {
 
 void Vcpu::complete_active() {
   checkpoint();
+  if (sim_.tracer().enabled()) {
+    sim_.tracer().complete("vcpu.run", "hv", active_since_,
+                           sim_.now() - active_since_,
+                           {"vcpu", static_cast<double>(id_)});
+  }
   const std::coroutine_handle<> h = active_->handle;
   active_.reset();
   start_next();  // FIFO fairness: queued work starts before the finished
@@ -45,6 +56,10 @@ void Vcpu::complete_active() {
 
 void Vcpu::update_schedule(const SliceSchedule& schedule) {
   checkpoint();
+  RESEX_TRACE_INSTANT(sim_.tracer(), "sched.window", "hv",
+                      {"vcpu", static_cast<double>(id_)},
+                      {"window_ns",
+                       static_cast<double>(schedule.window_length())});
   const SimTime now = sim_.now();
   if (active_) {
     const SimDuration done =

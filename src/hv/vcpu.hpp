@@ -75,6 +75,7 @@ class Vcpu {
   struct WorkItem {
     SimDuration remaining;
     std::coroutine_handle<> handle;
+    SimTime enqueued_at = 0;  // queue-wait span start ("vcpu.wait")
   };
 
   void enqueue(SimDuration work, std::coroutine_handle<> h);
@@ -93,6 +94,7 @@ class Vcpu {
   std::deque<WorkItem> queue_;
   std::optional<WorkItem> active_;
   SimTime work_segment_start_ = 0;
+  SimTime active_since_ = 0;  // run span start ("vcpu.run")
   sim::EventHandle completion_;
 
   int busy_pollers_ = 0;

@@ -39,7 +39,10 @@ void IbMon::start() {
 }
 
 void IbMon::sample_now() {
+  RESEX_TRACE_SPAN(sim_.tracer(), "ibmon.sample", "ibmon",
+                   {"cqs", static_cast<double>(watched_.size())});
   ++samples_;
+  sim_.metrics().gauge("ibmon.samples").set(static_cast<double>(samples_));
   for (auto& w : watched_) scan(w);
 }
 
@@ -72,17 +75,24 @@ void IbMon::scan(WatchedCq& w) {
     // slot is strictly newer than the newest CQE we have consumed, while a
     // stale slot is older.
     if (cqe.timestamp_ns > w.last_ts && cqe.timestamp_ns != 0) {
+      // The producer overwrote this slot, so its CQE for *our* lap is lost:
+      // charge exactly one missed completion and step the shadow forward one
+      // slot. Walking slot-by-slot resyncs to the overwritten region's lap
+      // and still consumes any not-yet-overwritten entries of our lap —
+      // charging a full ring (`entries`) here over-counted whenever the
+      // producer had lapped us by only a fraction of the ring.
       auto& st = stats_[w.domain];
-      st.missed_estimate += w.entries;
+      st.missed_estimate += 1;
       if (st.est_buffer_size > 0) {
-        const std::uint64_t est_bytes =
-            std::uint64_t{st.est_buffer_size} * w.entries;
-        st.send_bytes += est_bytes;
+        st.send_bytes += st.est_buffer_size;
         const std::uint32_t mtu = config_.mtu_bytes;
-        st.send_mtus += std::uint64_t(w.entries) *
-                        ((st.est_buffer_size + mtu - 1) / mtu);
+        st.send_mtus += (st.est_buffer_size + mtu - 1) / mtu;
       }
-      w.shadow += w.entries;  // resync one lap forward and rescan
+      sim_.metrics().counter("ibmon.lap_resyncs").add();
+      RESEX_TRACE_INSTANT(sim_.tracer(), "ibmon.lap_resync", "ibmon",
+                          {"domain", static_cast<double>(w.domain)},
+                          {"slot", static_cast<double>(w.shadow % w.entries)});
+      ++w.shadow;
       continue;
     }
     break;

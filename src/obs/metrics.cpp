@@ -1,0 +1,201 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+namespace resex::obs {
+
+const char* to_string(MetricKind k) noexcept {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+std::uint64_t Histogram::approx_quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > rank) {
+      // Upper bound of bucket i: values with bit_width i are < 2^i.
+      return i == 0 ? 0 : (i >= 64 ? max_ : (std::uint64_t{1} << i) - 1);
+    }
+  }
+  return max_;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry_for(std::string_view name,
+                                                  MetricKind kind) {
+  if (const auto it = index_.find(name); it != index_.end()) {
+    Entry& e = *it->second;
+    if (e.kind != kind) {
+      throw std::logic_error("MetricsRegistry: '" + e.name +
+                             "' already registered as " + to_string(e.kind) +
+                             ", requested as " + to_string(kind));
+    }
+    return e;
+  }
+  auto owned = std::make_unique<Entry>();
+  owned->name = std::string(name);
+  owned->kind = kind;
+  if (kind == MetricKind::kHistogram) {
+    owned->hist = std::make_unique<Histogram>();
+  }
+  Entry& e = *entries_.emplace_back(std::move(owned));
+  index_.emplace(std::string_view(e.name), &e);
+  return e;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return entry_for(name, MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return entry_for(name, MetricKind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return *entry_for(name, MetricKind::kHistogram).hist;
+}
+
+void MetricsRegistry::gauge_fn(std::string_view name,
+                               std::function<double()> fn) {
+  entry_for(name, MetricKind::kGauge).pull = std::move(fn);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(sim::SimTime at) const {
+  MetricsSnapshot snap;
+  snap.at = at;
+  snap.samples.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    MetricSample s;
+    s.name = e->name;
+    s.kind = e->kind;
+    switch (e->kind) {
+      case MetricKind::kCounter:
+        s.value = static_cast<double>(e->counter.value());
+        break;
+      case MetricKind::kGauge:
+        s.value = e->pull ? e->pull() : e->gauge.value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *e->hist;
+        s.count = h.count();
+        s.sum = h.sum();
+        s.min = h.min();
+        s.max = h.max();
+        s.value = h.mean();
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+          if (h.bucket(i) != 0) {
+            s.buckets.emplace_back(static_cast<std::uint32_t>(i), h.bucket(i));
+          }
+        }
+        break;
+      }
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+namespace {
+
+// Deterministic number rendering, same contract as in trace.cpp (obs sits
+// below sim::report and cannot use its formatters).
+void append_double(std::string& out, double v) {
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, ec == std::errc{} ? end : buf);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, ec == std::errc{} ? end : buf);
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(hex[(c >> 4) & 0xf]);
+          out.push_back(hex[c & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(256 + snapshot.samples.size() * 96);
+  out += "{\"at_ns\":";
+  append_u64(out, snapshot.at);
+  out += ",\"metrics\":[";
+  bool first = true;
+  for (const MetricSample& s : snapshot.samples) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\n{\"name\":";
+    append_json_string(out, s.name);
+    out += ",\"kind\":\"";
+    out += to_string(s.kind);
+    out.push_back('"');
+    if (s.kind == MetricKind::kHistogram) {
+      out += ",\"count\":";
+      append_u64(out, s.count);
+      out += ",\"sum\":";
+      append_u64(out, s.sum);
+      out += ",\"min\":";
+      append_u64(out, s.min);
+      out += ",\"max\":";
+      append_u64(out, s.max);
+      out += ",\"mean\":";
+      append_double(out, s.value);
+      out += ",\"buckets\":[";
+      bool bfirst = true;
+      for (const auto& [idx, n] : s.buckets) {
+        if (!bfirst) out.push_back(',');
+        bfirst = false;
+        out.push_back('[');
+        append_u64(out, idx);
+        out.push_back(',');
+        append_u64(out, n);
+        out.push_back(']');
+      }
+      out.push_back(']');
+    } else {
+      out += ",\"value\":";
+      append_double(out, s.value);
+    }
+    out.push_back('}');
+  }
+  out += "\n]}";
+  return out;
+}
+
+}  // namespace resex::obs

@@ -62,6 +62,10 @@ RunnerOptions parse_options(int argc, const char* const* argv) {
       opts.json_path = std::string(take_value());
     } else if (arg == "--csv") {
       opts.csv_path = std::string(take_value());
+    } else if (arg == "--trace") {
+      opts.trace_path = std::string(take_value());
+    } else if (arg == "--metrics-json") {
+      opts.metrics_path = std::string(take_value());
     } else {
       throw std::invalid_argument("unknown option '" + std::string(arg) +
                                   "' (see --help)");
@@ -73,12 +77,19 @@ RunnerOptions parse_options(int argc, const char* const* argv) {
 void print_usage(std::ostream& os, const std::string& prog) {
   os << "usage: " << prog << " [--jobs N] [--seeds K] [--seed S]"
      << " [--json PATH] [--csv PATH]\n"
+     << "       " << std::string(prog.size(), ' ')
+     << " [--trace PATH] [--metrics-json PATH]\n"
      << "  --jobs N    worker threads (default: hardware concurrency)\n"
      << "  --seeds K   replicates per sweep point with derived seeds"
      << " (default 1)\n"
      << "  --seed S    base seed to derive replicate streams from\n"
      << "  --json PATH write per-trial + aggregate results as JSON\n"
      << "  --csv PATH  write the aggregate table as CSV\n"
+     << "  --trace PATH        write per-trial sim-time traces (Chrome\n"
+     << "              trace_event JSON, Perfetto-loadable; .jsonl = JSONL).\n"
+     << "              Trial p0r0 writes PATH itself, others insert"
+     << " .p<P>r<R>.\n"
+     << "  --metrics-json PATH write per-trial metrics snapshots\n"
      << "Per-trial results are byte-identical for any --jobs value.\n";
 }
 

@@ -5,6 +5,8 @@
 //   --seed S     override the base seed the replicate streams derive from
 //   --json PATH  write the structured result document (resex.runner/v1)
 //   --csv PATH   write the aggregate table as CSV
+//   --trace PATH         per-trial sim-time traces (Chrome trace_event JSON)
+//   --metrics-json PATH  per-trial metrics snapshots (resex.metrics/v1)
 // Results are byte-identical for any --jobs value; only wall-clock changes.
 
 #include <cstddef>
@@ -21,6 +23,12 @@ struct RunnerOptions {
   std::optional<std::uint64_t> seed;  // unset = keep each config's own seed
   std::string json_path;              // empty = no JSON export
   std::string csv_path;               // empty = no CSV export
+  /// Base path for per-trial sim traces. Trial (point 0, replicate 0)
+  /// writes exactly this path; every other trial inserts ".p<point>r<rep>"
+  /// before the extension. Empty = tracing off.
+  std::string trace_path;
+  /// Per-trial metrics snapshots document. Empty = metrics off.
+  std::string metrics_path;
   bool help = false;
 
   /// The worker count actually used: jobs, or hardware concurrency (>= 1).

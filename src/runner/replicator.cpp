@@ -1,6 +1,7 @@
 #include "runner/replicator.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
@@ -36,8 +37,8 @@ Aggregate aggregate(const std::vector<double>& values) {
   return a;
 }
 
-Replicator::Replicator(ThreadPool& pool, std::size_t seeds)
-    : pool_(&pool), seeds_(seeds == 0 ? 1 : seeds) {}
+Replicator::Replicator(ThreadPool& pool, std::size_t seeds, ObsOptions obs)
+    : pool_(&pool), seeds_(seeds == 0 ? 1 : seeds), obs_(std::move(obs)) {}
 
 std::vector<PointOutcome> Replicator::run(
     const std::vector<SweepPoint>& points) const {
@@ -53,6 +54,10 @@ std::vector<PointOutcome> Replicator::run(
       t.replicate = r;
       t.config = points[p].config;
       t.config.seed = sim::derive(points[p].config.seed, r);
+      // Each trial's simulation is deterministic in isolation, so its trace
+      // and metrics are byte-identical for any --jobs value.
+      t.config.trace_path = trial_trace_path(obs_.trace_base, p, r);
+      t.config.collect_metrics = obs_.collect_metrics;
       trials.push_back(std::move(t));
     }
   }

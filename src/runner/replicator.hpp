@@ -56,10 +56,19 @@ struct GenericOutcome {
   std::vector<std::vector<double>> trial_values;  // [replicate][metric]
 };
 
+/// Observability settings applied to every materialized trial.
+struct ObsOptions {
+  /// Base trace path; per-trial paths derive via trial_trace_path. Empty =
+  /// tracing off.
+  std::string trace_base;
+  /// Snapshot each trial's metrics registry into its ScenarioResult.
+  bool collect_metrics = false;
+};
+
 class Replicator {
  public:
   /// `seeds` independent replicates per point (coerced to at least one).
-  Replicator(ThreadPool& pool, std::size_t seeds);
+  Replicator(ThreadPool& pool, std::size_t seeds, ObsOptions obs = {});
 
   [[nodiscard]] std::vector<PointOutcome> run(
       const std::vector<SweepPoint>& points) const;
@@ -72,6 +81,7 @@ class Replicator {
  private:
   ThreadPool* pool_;
   std::size_t seeds_;
+  ObsOptions obs_;
 };
 
 }  // namespace resex::runner

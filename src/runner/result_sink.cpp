@@ -212,4 +212,27 @@ void ResultSink::save_csv(const std::string& path,
           [&](std::ostream& os) { table(outcomes).write_csv(os); });
 }
 
+void write_metrics_json(std::ostream& os,
+                        const std::vector<PointOutcome>& outcomes) {
+  os << "{\"schema\":\"resex.metrics/v1\",\"trials\":[";
+  bool first = true;
+  for (const auto& po : outcomes) {
+    for (const auto& trial : po.trials) {
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "{\"label\":\"" << json_escape(po.point.label)
+         << "\",\"point\":" << trial.point
+         << ",\"replicate\":" << trial.replicate << ",\"seed\":" << trial.seed
+         << ",\"snapshot\":" << obs::to_json(trial.scenario.metrics) << "}";
+    }
+  }
+  os << "\n]}\n";
+}
+
+void save_metrics_json(const std::string& path,
+                       const std::vector<PointOutcome>& outcomes) {
+  save_to("save_metrics_json", path,
+          [&](std::ostream& os) { write_metrics_json(os, outcomes); });
+}
+
 }  // namespace resex::runner

@@ -85,4 +85,16 @@ class ResultSink {
   std::vector<std::string> names_;
 };
 
+/// Per-trial obs metrics snapshots as one deterministic JSON document
+/// (schema "resex.metrics/v1"): entries ordered by (point, replicate), each
+/// carrying the point label, seed, and the snapshot taken at the end of the
+/// trial. Trials run without ScenarioConfig::collect_metrics contribute
+/// empty snapshots.
+void write_metrics_json(std::ostream& os,
+                        const std::vector<PointOutcome>& outcomes);
+
+/// File variant; throws std::runtime_error on I/O failure.
+void save_metrics_json(const std::string& path,
+                       const std::vector<PointOutcome>& outcomes);
+
 }  // namespace resex::runner

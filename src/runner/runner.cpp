@@ -8,7 +8,10 @@ std::vector<PointOutcome> run_sweep(std::vector<SweepPoint> points,
     for (auto& p : points) p.config.seed = *opts.seed;
   }
   ThreadPool pool(opts.resolved_jobs());
-  return Replicator(pool, opts.seeds).run(points);
+  ObsOptions obs;
+  obs.trace_base = opts.trace_path;
+  obs.collect_metrics = !opts.metrics_path.empty();
+  return Replicator(pool, opts.seeds, std::move(obs)).run(points);
 }
 
 std::vector<GenericOutcome> run_generic(std::vector<GenericPoint> points,

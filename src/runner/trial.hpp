@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "core/experiment.hpp"
 
@@ -31,5 +32,13 @@ struct ExperimentResult {
 
 /// Run one trial to completion (wraps core::run_scenario).
 [[nodiscard]] ExperimentResult run_trial(const Trial& trial);
+
+/// Per-trial trace file path derived from a base path: trial (0, 0) gets
+/// `base` verbatim (the single-trial case keeps the name the user asked
+/// for); every other trial inserts ".p<point>r<replicate>" before the file
+/// extension ("out.json" -> "out.p1r2.json"). Empty base stays empty.
+[[nodiscard]] std::string trial_trace_path(const std::string& base,
+                                           std::size_t point,
+                                           std::size_t replicate);
 
 }  // namespace resex::runner

@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
@@ -68,6 +70,19 @@ class Simulation {
     return detached_.size();
   }
 
+  /// Sim-time event tracer for this simulation. Disabled (and free) unless a
+  /// driver calls `tracer().enable(...)`; instrumented components record
+  /// through the RESEX_TRACE_* macros against this instance.
+  [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
+  [[nodiscard]] const obs::Tracer& tracer() const noexcept { return tracer_; }
+
+  /// Metrics registry owned by this simulation; components register named
+  /// counters/gauges/histograms here, drivers snapshot it.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
   // --- awaitables -----------------------------------------------------------
 
   /// `co_await sim.delay(dt)`: resume after `dt` simulated time.
@@ -93,8 +108,10 @@ class Simulation {
 
   void rethrow_pending_error();
 
-  SimTime now_ = 0;
+  SimTime now_ = 0;  // must precede tracer_, which captures &now_
   EventQueue queue_;
+  obs::Tracer tracer_{&now_};
+  obs::MetricsRegistry metrics_;
   // Detached coroutines still alive, keyed by frame address. Owned: the
   // Simulation destroys any still-suspended frames on destruction; frames
   // that run to completion remove themselves.

@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "core/experiment.hpp"
 
 namespace resex::core {
@@ -202,6 +206,54 @@ TEST(Evaluation, ScenarioResultShapes) {
   EXPECT_GT(r.reporting[0].requests, 100u);
   EXPECT_GT(r.reporting[0].client_latency_us.count(), 100u);
   EXPECT_TRUE(r.timeline.empty());  // no policy -> no controller
+}
+
+TEST(Evaluation, ScenarioCapturesTraceAndMetricsWhenAsked) {
+  ScenarioConfig cfg;
+  cfg.warmup = 20_ms;
+  cfg.duration = 60_ms;
+  cfg.policy = PolicyKind::kFreeMarket;  // exercise ibmon + controller spans
+  cfg.trace_path = ::testing::TempDir() + "resex_scenario_trace.json";
+  cfg.collect_metrics = true;
+  const auto r = run_scenario(cfg);
+
+  // The metrics snapshot rides along in the result, stamped at sim end.
+  EXPECT_FALSE(r.metrics.samples.empty());
+  EXPECT_EQ(r.metrics.at, cfg.warmup + cfg.duration);
+  auto value_of = [&r](const std::string& name) -> double {
+    for (const auto& s : r.metrics.samples) {
+      if (s.name == name) return s.kind == obs::MetricKind::kHistogram
+                                     ? static_cast<double>(s.count)
+                                     : s.value;
+    }
+    return -1.0;
+  };
+  EXPECT_GT(value_of("fabric.transfers"), 0.0);
+  EXPECT_GT(value_of("fabric.wire_latency_ns"), 0.0);
+  EXPECT_GT(value_of("core.intervals"), 0.0);
+  EXPECT_GT(value_of("ibmon.samples"), 0.0);
+
+  // The trace file landed and shows all three layers plus the frame span.
+  std::ifstream in(cfg.trace_path);
+  ASSERT_TRUE(in.good()) << cfg.trace_path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string trace = ss.str();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"scenario\""), std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"core\""), std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"fabric\""), std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"hv\""), std::string::npos);
+  std::remove(cfg.trace_path.c_str());
+}
+
+TEST(Evaluation, UntracedScenarioRecordsNothing) {
+  ScenarioConfig cfg;
+  cfg.warmup = 20_ms;
+  cfg.duration = 40_ms;
+  const auto r = run_scenario(cfg);
+  EXPECT_TRUE(r.metrics.samples.empty());  // collect_metrics defaults off
+  EXPECT_FALSE(r.reporting.empty());
 }
 
 }  // namespace

@@ -380,6 +380,27 @@ TEST(FabricControl, PostSendValidation) {
   EXPECT_THROW(world.hca_a->post_send(*a.qp, bad), std::invalid_argument);
 }
 
+TEST(FabricControl, ZeroLengthMessageCannotSmuggleHeaderBytes) {
+  // Regression: validate_post used to exempt wr.length == 0 from the
+  // header-length check, so a zero-byte message could carry header bytes
+  // that dma_header would write even though the TPT only validated a
+  // zero-length access.
+  TwoNodeWorld world;
+  auto [a, b] = world.make_connected_pair();
+  SendWr bad;
+  bad.opcode = Opcode::kSend;
+  bad.local_addr = a.buf;
+  bad.lkey = a.mr.lkey;
+  bad.length = 0;
+  bad.header = std::vector<std::byte>(16);
+  EXPECT_THROW(world.hca_a->post_send(*a.qp, bad), std::invalid_argument);
+
+  // A genuinely empty zero-length message is still accepted.
+  SendWr ok = bad;
+  ok.header.clear();
+  EXPECT_NO_THROW(world.hca_a->post_send(*a.qp, ok));
+}
+
 TEST(FabricControl, PdOwnershipEnforced) {
   TwoNodeWorld world;
   Endpoint a = world.make_endpoint(world.node_a, *world.hca_a, "a");

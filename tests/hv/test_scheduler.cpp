@@ -2,12 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <vector>
+
 #include "sim/simulation.hpp"
 
 namespace resex::hv {
 namespace {
 
 using namespace resex::sim::literals;
+using sim::SimTime;
 using sim::Simulation;
 
 TEST(CreditScheduler, RejectsBadConstruction) {
@@ -119,6 +125,100 @@ TEST(CreditScheduler, WindowsDoNotOverlap) {
     prev_end = v->schedule().window_end();
   }
   EXPECT_LE(prev_end, 10_ms);
+}
+
+// Windows must partition (a subset of) the slice: pairwise disjoint, laid
+// out in attach order, and never extending past the slice end.
+void expect_valid_layout(const std::vector<std::unique_ptr<Vcpu>>& vcpus,
+                         SimTime slice) {
+  std::vector<std::pair<SimTime, SimTime>> windows;
+  windows.reserve(vcpus.size());
+  for (const auto& v : vcpus) {
+    windows.emplace_back(v->schedule().window_begin(),
+                         v->schedule().window_end());
+  }
+  std::sort(windows.begin(), windows.end());
+  SimTime prev_end = 0;
+  for (const auto& [begin, end] : windows) {
+    EXPECT_GE(begin, prev_end);  // disjoint from the previous window
+    EXPECT_LT(begin, end);       // non-empty
+    EXPECT_LE(end, slice);       // inside the slice
+    prev_end = end;
+  }
+}
+
+TEST(CreditScheduler, ManyEqualWeightsRoundingStaysWithinSlice) {
+  // Regression: 15 equal shares of a 10 ms slice have a fractional ideal
+  // width (666666.67 ns). Rounding each window up independently used to
+  // accumulate past the slice end and overlap neighbouring windows.
+  Simulation sim;
+  CreditScheduler sched(sim, 1);
+  std::vector<std::unique_ptr<Vcpu>> vcpus;
+  for (std::uint32_t i = 0; i < 15; ++i) {
+    vcpus.push_back(std::make_unique<Vcpu>(sim, i, sched.initial_schedule()));
+    sched.attach(*vcpus.back(), 0, 256.0);
+  }
+  expect_valid_layout(vcpus, 10_ms);
+  // Largest-remainder rounding conserves the uncapped total exactly.
+  SimTime total = 0;
+  for (const auto& v : vcpus) total += v->schedule().window_length();
+  EXPECT_EQ(total, 10_ms);
+}
+
+TEST(CreditScheduler, TinyWeightsDoNotOverflowTheSlice) {
+  // Regression: with a few near-zero shares behind many heavy ones, the
+  // per-VCPU progress floor used to push the layout cursor past the slice
+  // end, and the recovery path re-issued the same [slice-1, slice) window
+  // to every remaining VCPU — overlapping schedules.
+  Simulation sim;
+  CreditScheduler sched(sim, 1);
+  std::vector<std::unique_ptr<Vcpu>> vcpus;
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    vcpus.push_back(std::make_unique<Vcpu>(sim, i, sched.initial_schedule()));
+    // The two trailing VCPUs get ~0.004% of the weight: their ideal window
+    // (~440 ns) is below the progress floor.
+    sched.attach(*vcpus.back(), 0, i < 22 ? 1024.0 : 1.0);
+  }
+  expect_valid_layout(vcpus, 10_ms);
+  // The floor still guarantees progress for the starved VCPUs.
+  EXPECT_GT(vcpus[22]->schedule().window_length(), 0u);
+  EXPECT_GT(vcpus[23]->schedule().window_length(), 0u);
+}
+
+TEST(CreditScheduler, RelayoutPropertyWindowsDisjointOrderedWithinSlice) {
+  std::mt19937 rng(20260806u);
+  for (int iter = 0; iter < 150; ++iter) {
+    Simulation sim;
+    CreditScheduler sched(sim, 1);
+    const std::uint32_t n = 1 + rng() % 24;
+    std::vector<std::unique_ptr<Vcpu>> vcpus;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      vcpus.push_back(
+          std::make_unique<Vcpu>(sim, i, sched.initial_schedule()));
+      // Log-uniform-ish weights spanning 1..2^19: extreme ratios are what
+      // drive windows below the progress floor.
+      const double weight =
+          static_cast<double>(1 + rng() % (1u << (rng() % 20)));
+      if (rng() % 3 == 0) {
+        const double cap = 1.0 + static_cast<double>(rng() % 100);
+        sched.attach(*vcpus.back(), 0, weight, cap);
+      } else {
+        sched.attach(*vcpus.back(), 0, weight);
+      }
+      expect_valid_layout(vcpus, 10_ms);  // after every relayout
+    }
+    // Exercise relayout from non-initial states too.
+    for (int m = 0; m < 3; ++m) {
+      Vcpu& v = *vcpus[rng() % n];
+      if (rng() % 2 == 0) {
+        sched.set_cap(v, 1.0 + static_cast<double>(rng() % 100));
+      } else {
+        sched.set_weight(
+            v, static_cast<double>(1 + rng() % (1u << (rng() % 20))));
+      }
+      expect_valid_layout(vcpus, 10_ms);
+    }
+  }
 }
 
 TEST(CreditScheduler, AttachValidation) {

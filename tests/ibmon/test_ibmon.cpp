@@ -162,6 +162,36 @@ TEST_F(IbMonFixture, LapMissDetectedAndEstimated) {
             st.send_completions);
 }
 
+TEST_F(IbMonFixture, FractionalLapChargesOnlyOverwrittenSlots) {
+  // Regression: when the producer lapped the shadow by a *fraction* of the
+  // ring, resync used to charge a full ring (`entries`) of missed
+  // completions. Charging per overwritten slot keeps the estimate exact:
+  // 10 slots overwritten -> exactly 10 missed, everything else consumed.
+  mon.watch_cq(*ep.domain, *ep.send_cq);
+  auto produce_burst = [&](int n, sim::SimTime at) {
+    world.sim.schedule_at(at, [this, n] {
+      for (int i = 0; i < n; ++i) {
+        ep.send_cq->produce(send_cqe(1, 2048));
+        (void)ep.send_cq->poll();
+      }
+    });
+  };
+  produce_burst(10, 1_us);  // establishes est_buffer_size = 2048
+  world.sim.run();
+  mon.sample_now();  // shadow = 10
+  // 1024 + 10 entries: slots 10..19 are overwritten by the second lap
+  // before the monitor can see their first-lap CQEs.
+  produce_burst(1024 + 10, 2_us);
+  world.sim.run();
+  mon.sample_now();
+  const auto st = mon.stats(ep.domain->id());
+  EXPECT_EQ(st.missed_estimate, 10u);
+  EXPECT_EQ(st.send_completions, 1034u);
+  // The missed slots are charged at the estimated buffer size, so the byte
+  // total is exact here (every message was 2048 bytes).
+  EXPECT_EQ(st.send_bytes, (1034u + 10u) * 2048u);
+}
+
 TEST_F(IbMonFixture, PeriodicSamplerRuns) {
   mon.watch_cq(*ep.domain, *ep.send_cq);
   mon.start();

@@ -15,7 +15,9 @@ TEST(ThreadPool, StartupAndImmediateShutdown) {
   for (const std::size_t n : {0u, 1u, 2u, 8u}) {
     ThreadPool pool(n);
     EXPECT_GE(pool.size(), 1u);
-    if (n > 0) EXPECT_EQ(pool.size(), n);
+    if (n > 0) {
+      EXPECT_EQ(pool.size(), n);
+    }
   }  // destructor joins with an empty queue
 }
 
