@@ -76,7 +76,21 @@ void ResExController::run_interval() {
     t.prev_cpu_ns = cpu_now;
 
     const std::uint64_t mtus_now = ibmon_->stats(obs.id).send_mtus;
-    obs.mtus = static_cast<double>(mtus_now - t.prev_mtus);
+    if (ibmon_->stale(obs.id)) {
+      // Observation gap (flapped link, stalled HCA, lapped rings going
+      // quiet): the silence is *missing data*, not zero I/O. Pricing on a
+      // zero would hand the congesting VM a free interval and (worse)
+      // un-cap it mid-fault; hold the last healthy observation instead and
+      // mark the interval degraded.
+      obs.mtus = t.held_mtus;
+      sim.metrics().counter("core.degraded_intervals").add();
+      RESEX_TRACE_INSTANT(sim.tracer(), "resex.degraded", "core",
+                          {"vm", static_cast<double>(obs.id)},
+                          {"held_mtus", t.held_mtus});
+    } else {
+      obs.mtus = static_cast<double>(mtus_now - t.prev_mtus);
+      t.held_mtus = obs.mtus;
+    }
     t.prev_mtus = mtus_now;
 
     obs.current_cap = xenstat_.cap(obs.id);

@@ -72,6 +72,9 @@ class ResExController {
     benchex::LatencyAgent* agent = nullptr;
     std::uint64_t prev_cpu_ns = 0;
     std::uint64_t prev_mtus = 0;
+    /// Last healthy per-interval MTU observation, replayed while IBMon
+    /// reports the VM stale (hold-last policy during observation gaps).
+    double held_mtus = 0.0;
   };
 
   [[nodiscard]] sim::Task run();

@@ -3,7 +3,9 @@
 #include <iostream>
 #include <memory>
 
+#include "fault/fault.hpp"
 #include "sim/rng.hpp"
+#include "sim/task.hpp"
 
 namespace resex::core {
 
@@ -63,17 +65,45 @@ double measure_base_total_us(ScenarioConfig config) {
   config.policy = PolicyKind::kNone;
   config.duration = 300 * sim::kMillisecond;
   // The baseline probe runs nested inside run_scenario: it must not write
-  // over the outer trial's trace file or pollute its metrics snapshot.
+  // over the outer trial's trace file or pollute its metrics snapshot. It
+  // also runs fault-free — the SLA baseline is the healthy-fabric latency.
   config.trace_path.clear();
   config.collect_metrics = false;
+  config.metrics_period = 0;
+  config.faults.clear();
   const auto result = run_scenario(config);
   return result.reporting.at(0).total_us;
 }
 
 ScenarioResult run_scenario(const ScenarioConfig& config) {
-  Testbed tb;
+  TestbedConfig tb_cfg;
+  tb_cfg.scheduler.subwindows = config.sched_subwindows;
+  Testbed tb(tb_cfg);
   ScenarioResult result;
   if (!config.trace_path.empty()) tb.sim().tracer().enable();
+
+  // --- fault injection (resex::fault), if a plan is given --------------------
+  const fault::FaultPlan fault_plan = fault::FaultPlan::parse(config.faults);
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (fault_plan.any()) {
+    // Stream 0xFA17 keeps the injector's draws clear of every workload
+    // stream; keying on the scenario seed makes fault runs replicable.
+    injector = std::make_unique<fault::FaultInjector>(
+        fault_plan, sim::derive(config.seed, 0xFA17));
+    // Node A hosts dom0 and the controller — control-path delay windows
+    // apply to its hypercalls.
+    injector->arm(tb.fabric(), &tb.node_a());
+    // Surface the injector's tallies in the per-trial metrics snapshot, next
+    // to the fabric's own health counters (retransmits, qp errors).
+    tb.sim().metrics().gauge_fn(
+        "fault.drops_injected", [inj = injector.get()] {
+          return static_cast<double>(inj->drops_injected());
+        });
+    tb.sim().metrics().gauge_fn(
+        "fault.corrupts_injected", [inj = injector.get()] {
+          return static_cast<double>(inj->corrupts_injected());
+        });
+  }
 
   // --- deploy the workloads --------------------------------------------------
   std::vector<benchex::BenchPair*> reporting;
@@ -118,10 +148,15 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
                                   ? *config.baseline_mean_us
                                   : measure_base_total_us(config);
 
-    ibmon = std::make_unique<ibmon::IbMon>(
-        tb.sim(), ibmon::IbMonConfig{.sample_period = config.ibmon_period,
-                                     .mtu_bytes =
-                                         tb.fabric().config().mtu_bytes});
+    ibmon::IbMonConfig mon_cfg{.sample_period = config.ibmon_period,
+                               .mtu_bytes = tb.fabric().config().mtu_bytes};
+    if (fault_plan.any()) {
+      // Under fault injection the rings can go silent (flapped link, stalled
+      // HCA); let the controller detect the gap and hold its last healthy
+      // observation rather than pricing on it.
+      mon_cfg.stale_after = 5 * sim::kMillisecond;
+    }
+    ibmon = std::make_unique<ibmon::IbMon>(tb.sim(), mon_cfg);
     auto watch = [&](hv::Domain& dom) {
       dom.memory().set_foreign_mappable(true);
       ibmon->watch_domain(dom, tb.hca_a().domain_cqs(dom.id()));
@@ -150,6 +185,16 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   }
 
   // --- run --------------------------------------------------------------------
+  std::vector<obs::MetricsSnapshot> series;
+  if (config.collect_metrics && config.metrics_period > 0) {
+    tb.sim().spawn([](sim::Simulation& sim, sim::SimDuration period,
+                      std::vector<obs::MetricsSnapshot>& out) -> sim::Task {
+      for (;;) {
+        co_await sim.delay(period);
+        out.push_back(sim.metrics().snapshot(sim.now()));
+      }
+    }(tb.sim(), config.metrics_period, series));
+  }
   tb.sim().run_until(config.warmup + config.duration);
 
   // --- collect ------------------------------------------------------------------
@@ -169,6 +214,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   }
   if (config.collect_metrics) {
     result.metrics = tb.sim().metrics().snapshot(tb.sim().now());
+    result.metrics_series = std::move(series);
   }
   if (tb.sim().tracer().enabled()) {
     // Frame the trace: a top-level core span for the whole scenario and one

@@ -65,6 +65,16 @@ struct ScenarioConfig {
   double reporting_weight = 1.0;
   double intf_weight = 1.0;
   sim::SimDuration ibmon_period = 100 * sim::kMicrosecond;
+  /// Split each scheduler slice into this many sub-windows (cap enforcement
+  /// granularity; 1 = paper-faithful whole-slice windows). See
+  /// hv::SchedulerConfig::subwindows.
+  std::uint32_t sched_subwindows = 1;
+
+  // Fault injection (resex::fault).
+  /// Fault-plan spec string (see fault::FaultPlan::parse). Empty = no faults;
+  /// the fabric then runs the seed's unreliable-but-lossless datapath and
+  /// produces byte-identical results to builds without resex::fault.
+  std::string faults;
 
   // Run control.
   sim::SimDuration warmup = 100 * sim::kMillisecond;
@@ -80,6 +90,10 @@ struct ScenarioConfig {
   /// When true, snapshot the simulation's metrics registry into
   /// ScenarioResult::metrics after the run.
   bool collect_metrics = false;
+  /// When nonzero (and collect_metrics is set), also snapshot the registry
+  /// periodically during the run into ScenarioResult::metrics_series,
+  /// turning --metrics-json output into a time series.
+  sim::SimDuration metrics_period = 0;
 };
 
 /// Per-VM outcome of a scenario.
@@ -112,6 +126,9 @@ struct ScenarioResult {
   double baseline_mean_us = 0.0;
   /// End-of-run metrics snapshot (empty unless collect_metrics was set).
   obs::MetricsSnapshot metrics;
+  /// Periodic snapshots taken every metrics_period (empty unless both
+  /// collect_metrics and metrics_period were set).
+  std::vector<obs::MetricsSnapshot> metrics_series;
 };
 
 /// Run one scenario to completion and summarize it.

@@ -25,6 +25,12 @@ Channel::Channel(sim::Simulation& sim, const FabricConfig& config,
   metrics.gauge_fn(prefix + ".backlog_packets", [this] {
     return static_cast<double>(backlog_packets());
   });
+  metrics.gauge_fn(prefix + ".packets_dropped", [this] {
+    return static_cast<double>(packets_dropped_);
+  });
+  metrics.gauge_fn(prefix + ".packets_corrupted", [this] {
+    return static_cast<double>(packets_corrupted_);
+  });
 }
 
 Channel::Flow& Channel::flow_for(QpNum qp) {
@@ -156,6 +162,32 @@ void Channel::try_start() {
       rr_cursor_ = pos + 1;
     }
 
+    // Fault injection happens at the instant the packet wins arbitration:
+    // a dropped packet still consumes its serialization time (the sender's
+    // transmitter does not know the switch will eat it), it just never
+    // reaches the sink; a corrupted one is delivered flagged and discarded
+    // by the receiving HCA.
+    PacketFate fate = PacketFate::kDeliver;
+    if (fault_hook_ != nullptr) {
+      fate = fault_hook_->on_transmit(*this, pkt);
+      if (fate == PacketFate::kDrop) {
+        ++packets_dropped_;
+        if (sim_.tracer().enabled()) {
+          sim_.tracer().instant("pkt.drop", "fault",
+                                {"qp", static_cast<double>(f.qp)},
+                                {"psn", static_cast<double>(pkt.psn)});
+        }
+      } else if (fate == PacketFate::kCorrupt) {
+        pkt.corrupted = true;
+        ++packets_corrupted_;
+        if (sim_.tracer().enabled()) {
+          sim_.tracer().instant("pkt.corrupt", "fault",
+                                {"qp", static_cast<double>(f.qp)},
+                                {"psn", static_cast<double>(pkt.psn)});
+        }
+      }
+    }
+
     busy_ = true;
     const sim::SimDuration tx = config_.serialization_time(pkt.bytes);
     busy_time_ += tx;
@@ -168,12 +200,15 @@ void Channel::try_start() {
       sim_.tracer().counter(name_.c_str(), "backlog",
                             static_cast<double>(backlog_packets()));
     }
-    sim_.schedule_in(tx, [this, pkt = std::move(pkt)]() mutable {
+    const bool deliver = fate != PacketFate::kDrop;
+    sim_.schedule_in(tx, [this, deliver, pkt = std::move(pkt)]() mutable {
       busy_ = false;
-      sim_.schedule_in(config_.propagation_delay,
-                       [sink = sink_, pkt = std::move(pkt)]() mutable {
-                         sink(std::move(pkt));
-                       });
+      if (deliver) {
+        sim_.schedule_in(config_.propagation_delay,
+                         [sink = sink_, pkt = std::move(pkt)]() mutable {
+                           sink(std::move(pkt));
+                         });
+      }
       try_start();
     });
     return;

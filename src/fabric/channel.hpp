@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "fabric/fault_hook.hpp"
 #include "fabric/types.hpp"
 #include "sim/simulation.hpp"
 
@@ -64,6 +65,16 @@ class Channel {
     return busy_time_;
   }
 
+  /// Install (or clear, with nullptr) a fault hook consulted once per packet
+  /// at transmission time. Normally set fabric-wide via Fabric::set_fault_hook.
+  void set_fault_hook(FaultHook* hook) noexcept { fault_hook_ = hook; }
+  [[nodiscard]] std::uint64_t packets_dropped() const noexcept {
+    return packets_dropped_;
+  }
+  [[nodiscard]] std::uint64_t packets_corrupted() const noexcept {
+    return packets_corrupted_;
+  }
+
  private:
   struct Flow {
     QpNum qp = 0;
@@ -98,6 +109,9 @@ class Channel {
   std::uint64_t packets_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   sim::SimDuration busy_time_ = 0;
+  FaultHook* fault_hook_ = nullptr;
+  std::uint64_t packets_dropped_ = 0;
+  std::uint64_t packets_corrupted_ = 0;
 };
 
 }  // namespace resex::fabric

@@ -1,0 +1,35 @@
+#pragma once
+// Seam between the fabric and resex::fault. The fabric consults an abstract
+// FaultHook (if one is installed) for every packet it is about to put on a
+// wire; the hook decides the packet's fate. Keeping the interface here — and
+// the implementation in src/fault — means the fabric never depends on the
+// fault subsystem, and a fabric without a hook behaves byte-identically to
+// the perfect-link model (reliability machinery included: it is gated on
+// `Fabric::reliable()`, which is true iff a hook is installed).
+
+#include <cstdint>
+
+#include "fabric/types.hpp"
+
+namespace resex::fabric {
+
+class Channel;
+
+/// What happens to a packet at the moment it wins arbitration on a channel.
+enum class PacketFate : std::uint8_t {
+  kDeliver = 0,  // normal transmission
+  kDrop = 1,     // consumes wire time, never reaches the sink
+  kCorrupt = 2,  // delivered with `corrupted` set; receiver discards it
+};
+
+/// Installed on a Fabric via `set_fault_hook`; consulted once per packet
+/// transmission (including retransmissions). Implementations must be
+/// deterministic functions of (sim time, channel, packet, own seeded state).
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  [[nodiscard]] virtual PacketFate on_transmit(const Channel& channel,
+                                               const detail::Packet& pkt) = 0;
+};
+
+}  // namespace resex::fabric

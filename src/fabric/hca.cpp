@@ -25,6 +25,13 @@ Hca::Hca(Fabric& fabric, hv::Node& node, std::uint32_t hca_id)
   transfers_done_ = &metrics.counter("fabric.transfers");
   rnr_retries_ = &metrics.counter("fabric.rnr_retries");
   wire_latency_ns_ = &metrics.histogram("fabric.wire_latency_ns");
+  retransmits_ = &metrics.counter("fabric.retransmits");
+  qp_fatal_errors_ = &metrics.counter("fabric.qp_fatal_errors");
+  wr_flushes_ = &metrics.counter("fabric.wr_flushes");
+  if (fabric.fault_hook() != nullptr) {
+    uplink_->set_fault_hook(fabric.fault_hook());
+    downlink_->set_fault_hook(fabric.fault_hook());
+  }
 }
 
 std::uint32_t Hca::alloc_pd(hv::Domain& domain) {
@@ -107,30 +114,43 @@ void Hca::validate_post(const QueuePair& qp, const SendWr& wr) const {
 }
 
 void Hca::post_send(QueuePair& qp, SendWr wr) {
+  if (qp.state() == QpState::kError) {
+    flush_send(qp, wr);
+    return;
+  }
   validate_post(qp, wr);
   const auto& cfg = fabric_->config();
-  fabric_->simulation().schedule_in(
-      cfg.doorbell_latency + cfg.wqe_processing,
-      [this, &qp, wr = std::move(wr)]() mutable {
-        process_wqe(qp, std::move(wr));
-      });
+  auto& sim = fabric_->simulation();
+  const sim::SimTime pickup = std::max(
+      sim.now() + cfg.doorbell_latency + cfg.wqe_processing, stall_until_);
+  sim.schedule_at(pickup, [this, &qp, wr = std::move(wr)]() mutable {
+    process_wqe(qp, std::move(wr));
+  });
 }
 
 void Hca::ring_doorbell(QueuePair& qp) {
   // From here on, no guest CPU is involved: after the pickup latency the
   // HCA reads the doorbell record and the announced WQEs out of guest
-  // memory on its own.
+  // memory on its own. A stalled WQE-fetch pipeline (fault injection)
+  // pushes the pickup out to stall_until_.
   const auto& cfg = fabric_->config();
-  fabric_->simulation().schedule_in(
-      cfg.doorbell_latency + cfg.wqe_processing, [this, &qp] {
-        const std::uint64_t announced = qp.doorbell_value();
-        while (qp.sq_fetched() < announced) {
-          process_wqe(qp, qp.fetch_wqe(qp.sq_fetched()));
-        }
-      });
+  auto& sim = fabric_->simulation();
+  const sim::SimTime pickup = std::max(
+      sim.now() + cfg.doorbell_latency + cfg.wqe_processing, stall_until_);
+  sim.schedule_at(pickup, [this, &qp] {
+    const std::uint64_t announced = qp.doorbell_value();
+    while (qp.sq_fetched() < announced) {
+      process_wqe(qp, qp.fetch_wqe(qp.sq_fetched()));
+    }
+  });
 }
 
 void Hca::process_wqe(QueuePair& qp, SendWr wr) {
+  // A QP that errored out while this WQE sat in the ring flushes it.
+  if (qp.state() == QpState::kError) {
+    flush_send(qp, wr);
+    return;
+  }
   // Local buffer validation. RDMA-read needs local *write* rights (response
   // data lands in the local buffer); everything else only needs a valid,
   // in-bounds registration.
@@ -140,7 +160,10 @@ void Hca::process_wqe(QueuePair& qp, SendWr wr) {
   const auto status = tpt_.validate(wr.lkey, qp.pd(), wr.local_addr,
                                     wr.length, required, /*check_pd=*/true);
   if (status != mem::TptStatus::kOk) {
-    detail::Transfer failed{std::move(wr), &qp, qp.peer(), 0, 0, 0, false};
+    detail::Transfer failed;
+    failed.wr = std::move(wr);
+    failed.src_qp = &qp;
+    failed.dst_qp = qp.peer();
     complete_send(failed, CqeStatus::kLocalProtectionError);
     return;
   }
@@ -163,16 +186,149 @@ void Hca::start_transfer(QueuePair& src, QueuePair& dst, SendWr wr,
   t->started_at = fabric_->simulation().now();
   src.account_sent(t->wire_length);
 
+  const bool reliable = fabric_->reliable();
+  if (reliable) {
+    t->received.assign(t->total_packets, false);
+    // Base timeout plus generous queueing headroom: a transfer stuck behind
+    // several max-size neighbours on a shared port must not time out while
+    // its packets are merely waiting for arbitration.
+    t->rto = cfg.retransmit_timeout + 8 * cfg.serialization_time(t->wire_length);
+  }
   for (std::uint32_t i = 0; i < t->total_packets; ++i) {
     const std::uint64_t offset = std::uint64_t{i} * cfg.mtu_bytes;
     const auto bytes = static_cast<std::uint32_t>(std::min<std::uint64_t>(
         cfg.mtu_bytes, t->wire_length - offset));
-    uplink_->enqueue(detail::Packet{t, i, bytes});
+    uplink_->enqueue(
+        detail::Packet{t, i, bytes, reliable ? src.advance_psn() : 0, false});
   }
+  if (reliable) arm_retransmit(t);
+}
+
+void Hca::arm_retransmit(const std::shared_ptr<detail::Transfer>& t) {
+  t->retx_timer.cancel();
+  t->retx_timer = fabric_->simulation().schedule_in(
+      t->rto, [this, t] { on_retransmit_timeout(t); });
+}
+
+void Hca::on_retransmit_timeout(const std::shared_ptr<detail::Transfer>& t) {
+  if (t->completed) return;
+  const auto& cfg = fabric_->config();
+  if (t->transport_retries_used >= cfg.transport_retry_limit) {
+    fail_qp(*t, CqeStatus::kRetryExceeded);
+    return;
+  }
+  ++t->transport_retries_used;
+  retransmits_->add();
+  // Resend only the packets that never arrived (SACK-style go-where-missing;
+  // real RC would go-back-N from the first hole — the difference does not
+  // affect the experiments' shape and keeps duplicate traffic bounded).
+  std::uint32_t missing = 0;
+  for (std::uint32_t i = 0; i < t->total_packets; ++i) {
+    if (t->received[i]) continue;
+    ++missing;
+    const std::uint64_t offset = std::uint64_t{i} * cfg.mtu_bytes;
+    const auto bytes = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        cfg.mtu_bytes, t->wire_length - offset));
+    uplink_->enqueue(
+        detail::Packet{t, i, bytes, t->src_qp->advance_psn(), false});
+  }
+  RESEX_TRACE_INSTANT(fabric_->simulation().tracer(), "transfer.retransmit",
+                      "fault",
+                      {"qp", static_cast<double>(t->src_qp->num())},
+                      {"missing", static_cast<double>(missing)});
+  t->rto *= 2;  // exponential backoff
+  arm_retransmit(t);
+}
+
+void Hca::maybe_nak(const std::shared_ptr<detail::Transfer>& t) {
+  // Packets of one transfer stay in wire order, so a received index above
+  // the contiguous prefix proves the prefix's gap was dropped (or failed its
+  // CRC) — not merely late. One NAK in flight at a time keeps duplicate
+  // retransmissions bounded; the sender's ack timeout backstops a lost tail.
+  if (t->nak_pending || t->max_rcv_index <= t->rcv_contig) return;
+  t->nak_pending = true;
+  t->nak_floor = t->max_rcv_index;
+  fabric_->simulation().schedule_in(
+      fabric_->config().ack_delay,
+      [sender = &t->src_qp->hca(), t] { sender->fast_retransmit(t); });
+}
+
+void Hca::fast_retransmit(const std::shared_ptr<detail::Transfer>& t) {
+  if (t->completed) return;
+  const auto& cfg = fabric_->config();
+  // Only the holes below the receiver's high-water mark are provably lost;
+  // anything beyond it may still be in flight.
+  std::uint32_t missing = 0;
+  for (std::uint32_t i = t->rcv_contig; i < t->max_rcv_index; ++i) {
+    if (t->received[i]) continue;
+    ++missing;
+    const std::uint64_t offset = std::uint64_t{i} * cfg.mtu_bytes;
+    const auto bytes = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        cfg.mtu_bytes, t->wire_length - offset));
+    uplink_->enqueue(
+        detail::Packet{t, i, bytes, t->src_qp->advance_psn(), false});
+  }
+  if (missing == 0) return;
+  retransmits_->add();
+  RESEX_TRACE_INSTANT(fabric_->simulation().tracer(), "transfer.nak_retransmit",
+                      "fault",
+                      {"qp", static_cast<double>(t->src_qp->num())},
+                      {"missing", static_cast<double>(missing)});
+}
+
+void Hca::fail_qp(detail::Transfer& t, CqeStatus status) {
+  t.completed = true;
+  t.retx_timer.cancel();
+  QueuePair* origin = t.read_response ? t.dst_qp : t.src_qp;
+  origin->set_error();
+  qp_fatal_errors_->add();
+  RESEX_TRACE_INSTANT(fabric_->simulation().tracer(), "qp.error", "fault",
+                      {"qp", static_cast<double>(origin->num())},
+                      {"status", static_cast<double>(
+                                     static_cast<std::uint8_t>(status))});
+  complete_send(t, status);
+}
+
+void Hca::flush_send(QueuePair& qp, const SendWr& wr) {
+  wr_flushes_->add();
+  Cqe cqe;
+  cqe.wr_id = wr.wr_id;
+  cqe.qp_num = qp.num();
+  cqe.byte_len = wr.length;
+  cqe.imm_data = wr.imm_data;
+  cqe.opcode = static_cast<std::uint8_t>(
+      wr.opcode == Opcode::kRdmaRead ? CqeOpcode::kRdmaReadComplete
+                                     : CqeOpcode::kSendComplete);
+  cqe.status = static_cast<std::uint8_t>(CqeStatus::kWrFlushError);
+  // Flushes never touch the wire: only the CQE DMA cost applies.
+  fabric_->simulation().schedule_in(
+      fabric_->config().completion_dma,
+      [cq = &qp.send_cq(), cqe] { cq->produce(cqe); });
 }
 
 void Hca::on_packet(detail::Packet pkt) {
-  if (++pkt.transfer->delivered_packets < pkt.transfer->total_packets) {
+  if (fabric_->reliable()) {
+    detail::Transfer& rt = *pkt.transfer;
+    // Late arrivals for an already-completed (or errored-out) transfer and
+    // duplicates from retransmission are silently discarded; corrupted
+    // payloads fail their CRC here and count on the sender's ack timer.
+    if (rt.completed || pkt.corrupted || rt.received[pkt.index]) return;
+    rt.received[pkt.index] = true;
+    if (pkt.index > rt.max_rcv_index) rt.max_rcv_index = pkt.index;
+    while (rt.rcv_contig < rt.total_packets && rt.received[rt.rcv_contig]) {
+      ++rt.rcv_contig;
+    }
+    if (rt.nak_pending && rt.rcv_contig >= rt.nak_floor) {
+      rt.nak_pending = false;
+    }
+    if (++rt.delivered_packets < rt.total_packets) {
+      maybe_nak(pkt.transfer);
+      return;
+    }
+    rt.completed = true;
+    rt.retx_timer.cancel();
+  } else if (++pkt.transfer->delivered_packets <
+             pkt.transfer->total_packets) {
     return;
   }
   // Last packet in: the message's wire phase is over (retries and CQE
@@ -244,7 +400,13 @@ void Hca::deliver_write(const std::shared_ptr<detail::Transfer>& t,
     recv = t->dst_qp->consume_recv();
     if (!recv) {
       // Receiver not ready: NAK + retry later, like an RC HCA.
-      if (!retry_rnr(t)) complete_send(*t, CqeStatus::kRnrRetryExceeded);
+      if (!retry_rnr(t)) {
+        if (fabric_->reliable()) {
+          fail_qp(*t, CqeStatus::kRnrRetryExceeded);
+        } else {
+          complete_send(*t, CqeStatus::kRnrRetryExceeded);
+        }
+      }
       return;
     }
   }
@@ -271,7 +433,13 @@ void Hca::deliver_send(const std::shared_ptr<detail::Transfer>& tp) {
   detail::Transfer& t = *tp;
   const auto recv = t.dst_qp->consume_recv();
   if (!recv) {
-    if (!retry_rnr(tp)) complete_send(t, CqeStatus::kRnrRetryExceeded);
+    if (!retry_rnr(tp)) {
+      if (fabric_->reliable()) {
+        fail_qp(t, CqeStatus::kRnrRetryExceeded);
+      } else {
+        complete_send(t, CqeStatus::kRnrRetryExceeded);
+      }
+    }
     return;
   }
   if (recv->length < t.wr.length) {
@@ -362,6 +530,14 @@ Hca& Fabric::add_node(hv::Node& node) {
   hcas_.push_back(std::make_unique<Hca>(
       *this, node, static_cast<std::uint32_t>(hcas_.size())));
   return *hcas_.back();
+}
+
+void Fabric::set_fault_hook(FaultHook* hook) noexcept {
+  fault_hook_ = hook;
+  for (auto& h : hcas_) {
+    h->uplink().set_fault_hook(hook);
+    h->downlink().set_fault_hook(hook);
+  }
 }
 
 void Fabric::connect(QueuePair& a, QueuePair& b) {

@@ -8,6 +8,7 @@
 // VMM-bypass property that motivates the paper (the hypervisor cannot see or
 // throttle this path directly).
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -82,6 +83,13 @@ class Hca {
   /// Incoming packet from the downlink.
   void on_packet(detail::Packet pkt);
 
+  /// Fault injection: delay WQE fetches (doorbell pickups) until `until`.
+  /// Models a stalled HCA processing pipeline; later calls extend, earlier
+  /// windows never shrink. Self-clears once `until` passes.
+  void stall_wqe_fetch_until(sim::SimTime until) noexcept {
+    stall_until_ = std::max(stall_until_, until);
+  }
+
  private:
   friend class Fabric;
 
@@ -100,6 +108,26 @@ class Hca {
   void dma_header(hv::Domain& domain, mem::GuestAddr addr,
                   const std::vector<std::byte>& header);
 
+  // --- reliable transport (active only when the fabric has a fault hook) ----
+  /// Arm (or re-arm) `t`'s ack-timeout timer at the current RTO.
+  void arm_retransmit(const std::shared_ptr<detail::Transfer>& t);
+  /// Ack timeout fired: retransmit the missing packets with backoff, or —
+  /// budget exhausted — transition the origin QP to the error state.
+  void on_retransmit_timeout(const std::shared_ptr<detail::Transfer>& t);
+  /// Receiver side: an arrival revealed a sequence hole — send a NAK to the
+  /// sender (one in flight per transfer) so it resends without waiting out
+  /// the ack timeout.
+  void maybe_nak(const std::shared_ptr<detail::Transfer>& t);
+  /// Sender side, NAK received: immediately resend the packets missing below
+  /// the receiver's high-water mark. Does not consume the transport retry
+  /// budget and leaves the ack-timeout backstop armed.
+  void fast_retransmit(const std::shared_ptr<detail::Transfer>& t);
+  /// Fatal transport failure: error the origin QP and complete with `status`.
+  void fail_qp(detail::Transfer& t, CqeStatus status);
+  /// Complete a WR with kWrFlushError without touching the wire (QP in the
+  /// error state at post time).
+  void flush_send(QueuePair& qp, const SendWr& wr);
+
   Fabric* fabric_;
   hv::Node* node_;
   std::uint32_t id_;
@@ -117,6 +145,12 @@ class Hca {
   obs::Counter* transfers_done_;
   obs::Counter* rnr_retries_;
   obs::Histogram* wire_latency_ns_;
+  obs::Counter* retransmits_;
+  obs::Counter* qp_fatal_errors_;
+  obs::Counter* wr_flushes_;
+  /// WQE fetches (doorbell pickups) are delayed until this time (fault
+  /// injection); 0 / in the past = no stall.
+  sim::SimTime stall_until_ = 0;
 };
 
 /// The fabric: configuration, the switch, and the set of attached HCAs.
@@ -141,6 +175,17 @@ class Fabric {
   }
   [[nodiscard]] Hca& hca(std::size_t i) { return *hcas_.at(i); }
 
+  /// Install (or clear) a fault hook on every channel of the fabric. While a
+  /// hook is installed the fabric also runs its RC reliability machinery
+  /// (per-transfer ack timers, retransmission, retry budgets) — without one,
+  /// links are perfect and the original fast path runs unchanged.
+  void set_fault_hook(FaultHook* hook) noexcept;
+  [[nodiscard]] FaultHook* fault_hook() const noexcept { return fault_hook_; }
+  /// True iff reliable-transport recovery is active (a fault hook is set).
+  [[nodiscard]] bool reliable() const noexcept {
+    return fault_hook_ != nullptr;
+  }
+
  private:
   friend class Hca;
   /// Switch routing: uplink packets go to the destination HCA's downlink.
@@ -151,6 +196,7 @@ class Fabric {
   std::vector<std::unique_ptr<Hca>> hcas_;
   QpNum next_qp_ = 1;
   std::uint32_t next_cq_ = 1;
+  FaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace resex::fabric

@@ -16,6 +16,7 @@ class Hca;
 enum class QpState : std::uint8_t {
   kReset,
   kReadyToSend,  // connected (the model collapses INIT/RTR/RTS)
+  kError,        // retry budget exhausted; new posts flush with error CQEs
 };
 
 class QueuePair {
@@ -40,6 +41,16 @@ class QueuePair {
     peer_ = &peer;
     state_ = QpState::kReadyToSend;
   }
+
+  /// Transition to the error state (transport/RNR retry budget exhausted).
+  /// Outstanding WRs complete with an error status; subsequent posts are
+  /// flushed with kWrFlushError instead of touching the wire.
+  void set_error() noexcept { state_ = QpState::kError; }
+
+  /// Next packet sequence number for this QP's send direction (RC transport;
+  /// recorded on each packet for trace fidelity and retransmit accounting).
+  [[nodiscard]] std::uint64_t advance_psn() noexcept { return send_psn_++; }
+  [[nodiscard]] std::uint64_t send_psn() const noexcept { return send_psn_; }
 
   /// Queue a receive WQE (consumed in FIFO order by incoming messages).
   void post_recv(const RecvWr& wr) { recv_queue_.push_back(wr); }
@@ -108,6 +119,7 @@ class QueuePair {
   CompletionQueue* recv_cq_;
   QpState state_ = QpState::kReset;
   QueuePair* peer_ = nullptr;
+  std::uint64_t send_psn_ = 0;
   std::deque<RecvWr> recv_queue_;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t msgs_sent_ = 0;

@@ -9,6 +9,8 @@ const char* to_string(CqeStatus s) noexcept {
     case CqeStatus::kRemoteAccessError: return "remote-access-error";
     case CqeStatus::kRnrRetryExceeded: return "rnr-retry-exceeded";
     case CqeStatus::kLocalLengthError: return "local-length-error";
+    case CqeStatus::kRetryExceeded: return "retry-exceeded";
+    case CqeStatus::kWrFlushError: return "wr-flush-error";
   }
   return "unknown";
 }

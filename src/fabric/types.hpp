@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "mem/guest_memory.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
 namespace resex::fabric {
@@ -37,6 +38,8 @@ enum class CqeStatus : std::uint8_t {
   kRemoteAccessError = 2,     // rkey validation failed at the target
   kRnrRetryExceeded = 3,      // no receive WQE posted at the target
   kLocalLengthError = 4,      // receive buffer too small for incoming data
+  kRetryExceeded = 5,         // transport retry budget exhausted (lost acks)
+  kWrFlushError = 6,          // WR flushed: QP was in the error state
 };
 
 [[nodiscard]] const char* to_string(CqeStatus s) noexcept;
@@ -132,6 +135,18 @@ struct FabricConfig {
   sim::SimDuration rnr_retry_delay = 100 * sim::kMicrosecond;
   static constexpr std::uint32_t kInfiniteRnrRetry = ~std::uint32_t{0};
   std::uint32_t rnr_retry_limit = kInfiniteRnrRetry;
+  /// Reliable-transport (RC) retransmission. Only active when a fault hook
+  /// is installed on the fabric — the perfect-link fast path stays intact
+  /// otherwise. The effective initial RTO for a transfer is
+  /// `retransmit_timeout + 8 * serialization_time(wire_length)` so queueing
+  /// behind large neighbours does not trigger spurious retransmits; it then
+  /// doubles per retry (exponential backoff). 1 ms is ~5x the interfered
+  /// round trip and well above the worst-case WRR queueing delay observed
+  /// under a saturating 2MB neighbour (a few hundred us).
+  sim::SimDuration retransmit_timeout = sim::kMillisecond;
+  /// Transport retries before the QP transitions to the error state and the
+  /// WR completes with kRetryExceeded (IB's transport retry_cnt analogue).
+  std::uint32_t transport_retry_limit = 7;
   /// CPU cost for the guest to notice/parse one CQE when polling.
   sim::SimDuration poll_check_cost = 200;
   /// CPU cost to build + post one WQE (doorbell write included).
@@ -172,6 +187,33 @@ struct Transfer {
   std::uint32_t rnr_retries_used = 0;
   /// Sim time the first packet was enqueued (wire-latency span start).
   sim::SimTime started_at = 0;
+
+  // --- reliable-transport state (used only when the fabric has a fault
+  // hook installed; empty/idle otherwise so the fast path is unchanged) ---
+  /// Per-packet arrival bitmap; duplicates from retransmission are ignored.
+  std::vector<bool> received;
+  /// Set once the message fully arrived (or the QP errored out); late
+  /// retransmitted packets for a completed transfer are dropped.
+  bool completed = false;
+  /// Transport (ack-timeout) retries already spent at the sender.
+  std::uint32_t transport_retries_used = 0;
+  /// Current retransmission timeout (doubles per retry).
+  sim::SimDuration rto = 0;
+  /// Pending ack-timeout event; cancelled on full delivery.
+  sim::EventHandle retx_timer;
+  /// Receiver-side sequence tracking for NAK fast-retransmit: the number of
+  /// contiguous packets received from index 0, and the highest index seen.
+  /// A received index above the contiguous prefix proves a hole (per-transfer
+  /// packet order is FIFO on the wire), so the receiver NAKs immediately
+  /// instead of letting the sender wait out the ack timeout.
+  std::uint32_t rcv_contig = 0;
+  std::uint32_t max_rcv_index = 0;
+  /// A NAK is outstanding: no further NAK until the contiguous prefix
+  /// passes nak_floor (the high-water mark when it was sent) — otherwise
+  /// every arrival behind one hole would re-request the same packets while
+  /// the first resend is still in flight.
+  bool nak_pending = false;
+  std::uint32_t nak_floor = 0;
 };
 
 /// One MTU on the wire.
@@ -179,6 +221,11 @@ struct Packet {
   std::shared_ptr<Transfer> transfer;
   std::uint32_t index = 0;  // 0-based packet number within the transfer
   std::uint32_t bytes = 0;
+  /// Packet sequence number (per send QP), for trace fidelity.
+  std::uint64_t psn = 0;
+  /// Payload damaged in flight; the receiver discards it silently and the
+  /// sender's retransmit timer recovers it (a corrupt is a late drop).
+  bool corrupted = false;
   [[nodiscard]] bool last() const noexcept {
     return index + 1 == transfer->total_packets;
   }

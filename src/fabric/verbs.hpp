@@ -66,6 +66,13 @@ class Verbs {
   /// asynchronously.
   [[nodiscard]] sim::Task post_send(QueuePair& qp, SendWr wr) {
     co_await vcpu().consume(config().post_cost);
+    if (qp.state() == QpState::kError) {
+      // The QP errored out (retry budget exhausted): the WR is flushed with
+      // an error CQE instead of reaching the wire. Applications observe the
+      // failure through the CQ, exactly like ibv_post_send on a dead QP.
+      hca_->post_send(qp, std::move(wr));
+      co_return;
+    }
     hca_->validate_post(qp, wr);
     qp.write_wqe(wr);
     hca_->ring_doorbell(qp);
@@ -94,7 +101,11 @@ class Verbs {
  private:
   [[nodiscard]] sim::Task control_trip() {
     co_await vcpu().consume(costs_.guest_cpu);
-    co_await vcpu().simulation().delay(costs_.hypercall_round_trip);
+    auto& sim = vcpu().simulation();
+    // Fault injection can slow the dom0 backend; any active control-path
+    // delay window stretches the hypercall round trip.
+    co_await sim.delay(costs_.hypercall_round_trip +
+                       hca_->node().control_path_extra(sim.now()));
   }
 
   Hca* hca_;

@@ -1,0 +1,12 @@
+#pragma once
+// resex::fault — deterministic fault injection for the fabric model.
+//
+// A FaultPlan describes what goes wrong (packet drops/corruption, link
+// flaps, HCA stalls, dom0 control-path slowdowns); a FaultInjector arms it
+// against a fabric, which simultaneously switches the fabric's transport
+// into RC-style reliable mode (per-QP PSNs, ack timers, bounded retransmit
+// budgets, error-state QPs). Without an armed injector nothing in the
+// simulation changes — the hook is the single switch.
+
+#include "fault/injector.hpp"  // IWYU pragma: export
+#include "fault/plan.hpp"      // IWYU pragma: export

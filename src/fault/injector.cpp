@@ -1,0 +1,117 @@
+#include "fault/injector.hpp"
+
+#include <string_view>
+
+namespace resex::fault {
+
+namespace {
+/// FNV-1a, so a channel's fault stream follows its *name* (stable across
+/// runs and processes), not its allocation address.
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+void FaultInjector::arm(fabric::Fabric& fabric, hv::Node* control_node) {
+  sim_ = &fabric.simulation();
+  fabric.set_fault_hook(this);
+
+  auto& metrics = sim_->metrics();
+  metrics.gauge_fn("fault.drops_injected",
+                   [this] { return static_cast<double>(drops_); });
+  metrics.gauge_fn("fault.corrupts_injected",
+                   [this] { return static_cast<double>(corrupts_); });
+
+  // Scripted HCA stalls: the stall deadline is installed *at window start*
+  // so doorbells rung before the window keep their normal pickup latency.
+  for (const auto& stall : plan_.stalls) {
+    sim_->schedule_at(stall.at, [this, stall, &fabric] {
+      for (std::size_t i = 0; i < fabric.hca_count(); ++i) {
+        if (stall.hca >= 0 && static_cast<std::size_t>(stall.hca) != i) {
+          continue;
+        }
+        fabric.hca(i).stall_wqe_fetch_until(stall.at + stall.duration);
+        RESEX_TRACE_INSTANT(sim_->tracer(), "fault.stall", "fault",
+                            {"hca", static_cast<double>(i)},
+                            {"until_ms",
+                             static_cast<double>(stall.at + stall.duration) /
+                                 static_cast<double>(sim::kMillisecond)});
+      }
+      sim_->metrics().counter("fault.stalls").add();
+    });
+  }
+
+  // Flaps are evaluated per-packet by time window; the scheduled events
+  // below only mark the window edges in traces/metrics.
+  for (const auto& flap : plan_.flaps) {
+    sim_->schedule_at(flap.at, [this, flap] {
+      sim_->metrics().counter("fault.flaps").add();
+      RESEX_TRACE_INSTANT(sim_->tracer(), "fault.flap_begin", "fault",
+                          {"duration_ms",
+                           static_cast<double>(flap.duration) /
+                               static_cast<double>(sim::kMillisecond)});
+    });
+    sim_->schedule_at(flap.at + flap.duration, [this] {
+      RESEX_TRACE_INSTANT(sim_->tracer(), "fault.flap_end", "fault");
+    });
+  }
+
+  for (const auto& delay : plan_.control_delays) {
+    if (control_node == nullptr) break;
+    control_node->add_control_path_delay(delay.at, delay.at + delay.duration,
+                                         delay.extra);
+    sim_->schedule_at(delay.at, [this, delay] {
+      sim_->metrics().counter("fault.control_delays").add();
+      RESEX_TRACE_INSTANT(
+          sim_->tracer(), "fault.control_delay", "fault",
+          {"extra_us", static_cast<double>(delay.extra) /
+                           static_cast<double>(sim::kMicrosecond)});
+    });
+  }
+}
+
+bool FaultInjector::flap_active(const fabric::Channel& channel,
+                                sim::SimTime now) const {
+  for (const auto& flap : plan_.flaps) {
+    if (now < flap.at || now >= flap.at + flap.duration) continue;
+    if (flap.channel.empty() ||
+        channel.name().find(flap.channel) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+sim::Rng& FaultInjector::stream_for(const fabric::Channel& channel) {
+  const auto it = streams_.find(&channel);
+  if (it != streams_.end()) return it->second;
+  return streams_
+      .emplace(&channel, sim::Rng(sim::derive(seed_, fnv1a(channel.name()))))
+      .first->second;
+}
+
+fabric::PacketFate FaultInjector::on_transmit(
+    const fabric::Channel& channel, const fabric::detail::Packet& pkt) {
+  (void)pkt;
+  if (!plan_.flaps.empty() && flap_active(channel, sim_->now())) {
+    ++drops_;
+    return fabric::PacketFate::kDrop;
+  }
+  if (plan_.drop_rate > 0.0 && stream_for(channel).chance(plan_.drop_rate)) {
+    ++drops_;
+    return fabric::PacketFate::kDrop;
+  }
+  if (plan_.corrupt_rate > 0.0 &&
+      stream_for(channel).chance(plan_.corrupt_rate)) {
+    ++corrupts_;
+    return fabric::PacketFate::kCorrupt;
+  }
+  return fabric::PacketFate::kDeliver;
+}
+
+}  // namespace resex::fault

@@ -1,0 +1,82 @@
+#pragma once
+// FaultPlan: a declarative, fully deterministic description of the faults to
+// inject into one scenario run. Plans are value types — parse one from a CLI
+// spec string (`--faults`), or build one programmatically — and hand it to a
+// FaultInjector, which arms it against a fabric.
+//
+// Spec grammar (comma-separated directives, times are milliseconds, floats):
+//
+//   drop=P                 drop each packet with probability P (0 <= P < 1)
+//   corrupt=P              corrupt each packet with probability P
+//   flap=AT:DUR[:CHAN]     link down for DUR starting at AT; CHAN is a
+//                          substring match on the channel name ("A/up",
+//                          "/down", ...), empty/omitted = every channel
+//   stall=AT:DUR[:HCA]     HCA WQE-fetch pipeline stalled for DUR starting
+//                          at AT; HCA is the adapter index, omitted = all
+//   ctl=AT:DUR:EXTRA_US    dom0 control-path hypercalls take EXTRA_US µs
+//                          longer during [AT, AT+DUR)
+//
+// Example: "drop=0.01,flap=300:150:A/up,ctl=0:1000:500"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace resex::fault {
+
+/// One scripted link outage: every packet transmitted on a matching channel
+/// during [at, at + duration) is dropped.
+struct LinkFlap {
+  sim::SimTime at = 0;
+  sim::SimDuration duration = 0;
+  /// Substring matched against Channel::name(); empty matches all channels.
+  std::string channel;
+};
+
+/// One scripted HCA pipeline stall: doorbells rung during the window are not
+/// picked up before it ends (WQE fetch is frozen; the wire keeps moving).
+struct HcaStall {
+  sim::SimTime at = 0;
+  sim::SimDuration duration = 0;
+  /// HCA index on the fabric; negative matches every adapter.
+  std::int32_t hca = -1;
+};
+
+/// One dom0 control-path slowdown window (split-driver hypercalls only; the
+/// VMM-bypass data path is untouched — exactly the asymmetry the paper
+/// exploits).
+struct ControlDelay {
+  sim::SimTime at = 0;
+  sim::SimDuration duration = 0;
+  sim::SimDuration extra = 0;
+};
+
+struct FaultPlan {
+  /// Per-packet drop probability on every channel (seed-driven Bernoulli).
+  double drop_rate = 0.0;
+  /// Per-packet corruption probability (receiver discards; sender retries).
+  double corrupt_rate = 0.0;
+  std::vector<LinkFlap> flaps;
+  std::vector<HcaStall> stalls;
+  std::vector<ControlDelay> control_delays;
+
+  /// True if the plan injects anything at all. An empty plan means the
+  /// fabric runs the perfect-link fast path, byte-identical to no plan.
+  [[nodiscard]] bool any() const noexcept {
+    return drop_rate > 0.0 || corrupt_rate > 0.0 || !flaps.empty() ||
+           !stalls.empty() || !control_delays.empty();
+  }
+
+  /// Parse a spec string (grammar above). Throws std::invalid_argument with
+  /// a pointed message on malformed input. An empty spec is a valid empty
+  /// plan.
+  [[nodiscard]] static FaultPlan parse(std::string_view spec);
+
+  /// Canonical spec string round-trip (for logging and test assertions).
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace resex::fault

@@ -78,7 +78,36 @@ class Node {
     return domains_.size();
   }
 
+  // --- fault injection: dom0 control-path slowdowns -------------------------
+  /// During [from, until) every split-driver hypercall through this node's
+  /// dom0 backend takes `extra` longer (models a busy/overloaded dom0).
+  /// Windows may overlap; their extras add up.
+  void add_control_path_delay(sim::SimTime from, sim::SimTime until,
+                              sim::SimDuration extra) {
+    if (until <= from) {
+      throw std::invalid_argument("Node: empty control-path delay window");
+    }
+    control_delays_.push_back(ControlDelay{from, until, extra});
+  }
+
+  /// Extra control-path latency in effect at `now` (0 in the common case —
+  /// the vector is empty unless faults were injected).
+  [[nodiscard]] sim::SimDuration control_path_extra(
+      sim::SimTime now) const noexcept {
+    if (control_delays_.empty()) return 0;
+    sim::SimDuration extra = 0;
+    for (const auto& w : control_delays_) {
+      if (now >= w.from && now < w.until) extra += w.extra;
+    }
+    return extra;
+  }
+
  private:
+  struct ControlDelay {
+    sim::SimTime from = 0;
+    sim::SimTime until = 0;
+    sim::SimDuration extra = 0;
+  };
   Domain& create_domain_impl(const DomainConfig& config) {
     const auto id = static_cast<DomainId>(domains_.size());
     auto dom = std::make_unique<Domain>(sim_, id, config.name,
@@ -103,6 +132,7 @@ class Node {
   std::string name_;
   CreditScheduler scheduler_;
   std::vector<std::unique_ptr<Domain>> domains_;
+  std::vector<ControlDelay> control_delays_;
 };
 
 /// XenStat-library facade: the narrow hypervisor interface ResEx uses —

@@ -20,6 +20,7 @@ void IbMon::watch_cq(hv::Domain& domain, const fabric::CompletionQueue& cq) {
   w.entries = cq.entries();
   watched_.push_back(w);
   stats_.try_emplace(domain.id());
+  last_activity_.emplace(domain.id(), sim_.now());
 }
 
 void IbMon::watch_domain(hv::Domain& domain,
@@ -59,12 +60,48 @@ fabric::Cqe IbMon::read_slot(const WatchedCq& w, std::uint64_t count) const {
 }
 
 void IbMon::scan(WatchedCq& w) {
+  const std::uint64_t window_start = w.last_ts;
+  std::uint64_t consumed = 0;
+  std::uint64_t resynced = 0;
+  std::uint64_t newest_ts = w.last_ts;
   for (;;) {
     const fabric::Cqe cqe = read_slot(w, w.shadow);
     const std::uint8_t expected = owner_for(w, w.shadow);
     if (cqe.owner == expected) {
       w.last_ts = std::max(w.last_ts, cqe.timestamp_ns);
+      newest_ts = std::max(newest_ts, cqe.timestamp_ns);
+      // Feed the rate estimators (timestamps are nondecreasing in ring
+      // order; 0 means "never stamped" and is skipped).
+      if (cqe.timestamp_ns != 0) {
+        if (w.prev_consumed_ts != 0 &&
+            cqe.timestamp_ns > w.prev_consumed_ts) {
+          const auto gap =
+              static_cast<double>(cqe.timestamp_ns - w.prev_consumed_ts);
+          w.ewma_gap_ns =
+              w.ewma_gap_ns == 0.0 ? gap
+                                   : 0.875 * w.ewma_gap_ns + 0.125 * gap;
+        }
+        w.prev_consumed_ts = cqe.timestamp_ns;
+      }
+      const auto op = static_cast<fabric::CqeOpcode>(cqe.opcode);
+      if (cqe.status ==
+          static_cast<std::uint8_t>(fabric::CqeStatus::kSuccess)) {
+        const auto bytes = static_cast<double>(cqe.byte_len);
+        if (op == fabric::CqeOpcode::kSendComplete ||
+            op == fabric::CqeOpcode::kRdmaReadComplete) {
+          ++w.seen_send;
+          w.ewma_send_bytes = w.ewma_send_bytes == 0.0
+                                  ? bytes
+                                  : 0.875 * w.ewma_send_bytes + 0.125 * bytes;
+        } else {
+          ++w.seen_recv;
+          w.ewma_recv_bytes = w.ewma_recv_bytes == 0.0
+                                  ? bytes
+                                  : 0.875 * w.ewma_recv_bytes + 0.125 * bytes;
+        }
+      }
       account(w.domain, cqe);
+      ++consumed;
       ++w.shadow;
       continue;
     }
@@ -75,19 +112,17 @@ void IbMon::scan(WatchedCq& w) {
     // slot is strictly newer than the newest CQE we have consumed, while a
     // stale slot is older.
     if (cqe.timestamp_ns > w.last_ts && cqe.timestamp_ns != 0) {
-      // The producer overwrote this slot, so its CQE for *our* lap is lost:
-      // charge exactly one missed completion and step the shadow forward one
-      // slot. Walking slot-by-slot resyncs to the overwritten region's lap
-      // and still consumes any not-yet-overwritten entries of our lap —
-      // charging a full ring (`entries`) here over-counted whenever the
-      // producer had lapped us by only a fraction of the ring.
-      auto& st = stats_[w.domain];
-      st.missed_estimate += 1;
-      if (st.est_buffer_size > 0) {
-        st.send_bytes += st.est_buffer_size;
-        const std::uint32_t mtu = config_.mtu_bytes;
-        st.send_mtus += (st.est_buffer_size + mtu - 1) / mtu;
-      }
+      // The producer overwrote this slot, so its CQE for *our* lap is lost.
+      // Step the shadow forward one slot: walking slot-by-slot resyncs to
+      // the overwritten region's lap and still consumes any
+      // not-yet-overwritten entries of our lap. The charge for the lost
+      // completions is computed once at the end of the scan.
+      ++resynced;
+      newest_ts = std::max(newest_ts, cqe.timestamp_ns);
+      // The next consumed CQE sits across the lost region; the timestamp
+      // gap to the previous consumed one spans many completions and would
+      // poison the rate EWMA. Re-seed instead of sampling it.
+      w.prev_consumed_ts = 0;
       sim_.metrics().counter("ibmon.lap_resyncs").add();
       RESEX_TRACE_INSTANT(sim_.tracer(), "ibmon.lap_resync", "ibmon",
                           {"domain", static_cast<double>(w.domain)},
@@ -97,6 +132,65 @@ void IbMon::scan(WatchedCq& w) {
     }
     break;
   }
+  if (resynced > 0) {
+    // Charge the lost lap(s). Each overwritten slot proves at least one
+    // lost completion, but when the producer lapped the ring k times only
+    // the last lap's overwrites are visible — a pure per-slot charge
+    // undercounts by (k-1) rings. Extrapolate from the observed completion
+    // rate instead: the timestamp span this scan covered, divided by the
+    // EWMA inter-completion gap, estimates how many completions the app
+    // produced; what we did not consume, we missed. (Entries still pending
+    // in the ring are counted here and consumed next scan without a span
+    // contribution, so the overshoot cancels across scans.) The per-slot
+    // count stays as the lower bound and as the fallback when timestamps
+    // carry no rate signal.
+    auto& st = stats_[w.domain];
+    std::uint64_t missed = resynced;
+    if (w.ewma_gap_ns > 0.0 && window_start > 0 && newest_ts > window_start) {
+      const auto produced = static_cast<std::uint64_t>(
+          static_cast<double>(newest_ts - window_start) / w.ewma_gap_ns);
+      if (produced > consumed && produced - consumed > missed) {
+        missed = produced - consumed;
+      }
+    }
+    st.missed_estimate += missed;
+    // Apportion the loss to the completion kinds this CQ actually carries
+    // (a dedicated recv ring must not be charged as sends), sized by the
+    // per-kind EWMAs with the largest-seen-message fallback.
+    const std::uint64_t seen = w.seen_send + w.seen_recv;
+    const std::uint64_t missed_send =
+        seen == 0 ? missed
+                  : static_cast<std::uint64_t>(
+                        static_cast<double>(missed) *
+                        (static_cast<double>(w.seen_send) /
+                         static_cast<double>(seen)));
+    const std::uint64_t missed_recv = missed - missed_send;
+    const double send_each = w.ewma_send_bytes > 0.0
+                                 ? w.ewma_send_bytes
+                                 : static_cast<double>(st.est_buffer_size);
+    if (missed_send > 0 && send_each > 0.0) {
+      st.send_bytes += static_cast<std::uint64_t>(
+          send_each * static_cast<double>(missed_send));
+      const std::uint32_t mtu = config_.mtu_bytes;
+      st.send_mtus +=
+          missed_send *
+          ((static_cast<std::uint64_t>(send_each) + mtu - 1) / mtu);
+    }
+    if (missed_recv > 0 && w.ewma_recv_bytes > 0.0) {
+      st.recv_bytes += static_cast<std::uint64_t>(
+          w.ewma_recv_bytes * static_cast<double>(missed_recv));
+    }
+  }
+  if (consumed > 0 || resynced > 0) {
+    last_activity_[w.domain] = sim_.now();
+  }
+}
+
+bool IbMon::stale(hv::DomainId id) const {
+  if (config_.stale_after == 0) return false;
+  const auto it = last_activity_.find(id);
+  if (it == last_activity_.end()) return false;
+  return sim_.now() - it->second > config_.stale_after;
 }
 
 void IbMon::account(hv::DomainId dom, const fabric::Cqe& cqe) {

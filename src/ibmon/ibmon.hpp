@@ -46,6 +46,10 @@ struct VmIoStats {
 struct IbMonConfig {
   sim::SimDuration sample_period = 100 * sim::kMicrosecond;
   std::uint32_t mtu_bytes = 1024;
+  /// A domain whose rings produced nothing for this long is reported stale
+  /// by `stale()` — the controller's signal to hold its last observation
+  /// instead of pricing on a gap. 0 disables staleness (default).
+  sim::SimDuration stale_after = 0;
 };
 
 class IbMon {
@@ -71,6 +75,12 @@ class IbMon {
   /// Cumulative statistics for a domain (zero-initialised if unknown).
   [[nodiscard]] VmIoStats stats(hv::DomainId id) const;
 
+  /// True when the domain's rings have produced no completions for longer
+  /// than `stale_after` (and staleness is enabled). During observation gaps
+  /// — link flaps, stalled HCAs — the controller should not treat the
+  /// silence as "no I/O" and reprice on it.
+  [[nodiscard]] bool stale(hv::DomainId id) const;
+
   [[nodiscard]] std::size_t watched_cq_count() const noexcept {
     return watched_.size();
   }
@@ -87,6 +97,17 @@ class IbMon {
     std::uint32_t entries = 0;
     std::uint64_t shadow = 0;   // next CQE index we expect to read
     std::uint64_t last_ts = 0;  // timestamp of the newest CQE consumed
+    /// Rate estimators for lap-resync extrapolation: EWMA of the timestamp
+    /// gap between consecutive consumed CQEs and of per-kind completion
+    /// sizes. The send/recv consumed tallies apportion a lap's lost
+    /// completions to the side this CQ actually carries — charging a lapped
+    /// recv ring as send bytes would inflate the charging metric.
+    double ewma_gap_ns = 0.0;
+    double ewma_send_bytes = 0.0;
+    double ewma_recv_bytes = 0.0;
+    std::uint64_t seen_send = 0;
+    std::uint64_t seen_recv = 0;
+    std::uint64_t prev_consumed_ts = 0;
   };
 
   void scan(WatchedCq& w);
@@ -101,6 +122,7 @@ class IbMon {
   IbMonConfig config_;
   std::vector<WatchedCq> watched_;
   std::unordered_map<hv::DomainId, VmIoStats> stats_;
+  std::unordered_map<hv::DomainId, sim::SimTime> last_activity_;
   std::uint64_t samples_ = 0;
   bool started_ = false;
 };

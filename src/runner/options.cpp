@@ -6,6 +6,8 @@
 #include <string_view>
 #include <thread>
 
+#include "fault/plan.hpp"
+
 namespace resex::runner {
 
 std::size_t RunnerOptions::resolved_jobs() const {
@@ -22,6 +24,17 @@ std::uint64_t parse_u64(std::string_view flag, std::string_view text) {
       std::from_chars(text.data(), text.data() + text.size(), value);
   if (ec != std::errc{} || end != text.data() + text.size()) {
     throw std::invalid_argument(std::string(flag) + ": expected an integer, got '" +
+                                std::string(text) + "'");
+  }
+  return value;
+}
+
+double parse_f64(std::string_view flag, std::string_view text) {
+  double value = 0.0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size()) {
+    throw std::invalid_argument(std::string(flag) + ": expected a number, got '" +
                                 std::string(text) + "'");
   }
   return value;
@@ -66,6 +79,16 @@ RunnerOptions parse_options(int argc, const char* const* argv) {
       opts.trace_path = std::string(take_value());
     } else if (arg == "--metrics-json") {
       opts.metrics_path = std::string(take_value());
+    } else if (arg == "--metrics-period") {
+      opts.metrics_period_ms = parse_f64(arg, take_value());
+      if (opts.metrics_period_ms <= 0.0) {
+        throw std::invalid_argument("--metrics-period: must be > 0 ms");
+      }
+    } else if (arg == "--faults") {
+      opts.faults = std::string(take_value());
+      // Validate now so a typo fails before any trial runs (FaultPlan::parse
+      // throws std::invalid_argument with a pointed message).
+      (void)fault::FaultPlan::parse(opts.faults);
     } else {
       throw std::invalid_argument("unknown option '" + std::string(arg) +
                                   "' (see --help)");
@@ -90,6 +113,11 @@ void print_usage(std::ostream& os, const std::string& prog) {
      << "              Trial p0r0 writes PATH itself, others insert"
      << " .p<P>r<R>.\n"
      << "  --metrics-json PATH write per-trial metrics snapshots\n"
+     << "  --metrics-period MS also snapshot every MS ms of sim time (adds a\n"
+     << "              per-trial \"series\" to --metrics-json output)\n"
+     << "  --faults SPEC       inject a deterministic fault plan into every\n"
+     << "              trial, e.g. drop=0.01,flap=300:150:A/up (see\n"
+     << "              fault::FaultPlan for the grammar)\n"
      << "Per-trial results are byte-identical for any --jobs value.\n";
 }
 

@@ -7,6 +7,8 @@
 //   --csv PATH   write the aggregate table as CSV
 //   --trace PATH         per-trial sim-time traces (Chrome trace_event JSON)
 //   --metrics-json PATH  per-trial metrics snapshots (resex.metrics/v1)
+//   --metrics-period MS  also snapshot every MS ms of sim time (time series)
+//   --faults SPEC        inject a fault plan into every trial (fault::FaultPlan)
 // Results are byte-identical for any --jobs value; only wall-clock changes.
 
 #include <cstddef>
@@ -29,6 +31,13 @@ struct RunnerOptions {
   std::string trace_path;
   /// Per-trial metrics snapshots document. Empty = metrics off.
   std::string metrics_path;
+  /// Periodic in-run snapshot period, milliseconds of sim time. 0 = final
+  /// snapshot only. Requires --metrics-json to have any effect.
+  double metrics_period_ms = 0.0;
+  /// Fault-plan spec applied to every trial (see fault::FaultPlan::parse).
+  /// Validated at parse time; empty = whatever the bench configures (usually
+  /// fault-free).
+  std::string faults;
   bool help = false;
 
   /// The worker count actually used: jobs, or hardware concurrency (>= 1).

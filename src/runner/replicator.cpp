@@ -57,7 +57,10 @@ std::vector<PointOutcome> Replicator::run(
       // Each trial's simulation is deterministic in isolation, so its trace
       // and metrics are byte-identical for any --jobs value.
       t.config.trace_path = trial_trace_path(obs_.trace_base, p, r);
-      t.config.collect_metrics = obs_.collect_metrics;
+      if (obs_.collect_metrics) t.config.collect_metrics = true;
+      if (obs_.metrics_period > 0) {
+        t.config.metrics_period = obs_.metrics_period;
+      }
       trials.push_back(std::move(t));
     }
   }

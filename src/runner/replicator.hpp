@@ -61,8 +61,11 @@ struct ObsOptions {
   /// Base trace path; per-trial paths derive via trial_trace_path. Empty =
   /// tracing off.
   std::string trace_base;
-  /// Snapshot each trial's metrics registry into its ScenarioResult.
+  /// Snapshot each trial's metrics registry into its ScenarioResult. ORed
+  /// with the point config's own collect_metrics, never cleared.
   bool collect_metrics = false;
+  /// Periodic snapshot period (sim time); 0 = final snapshot only.
+  sim::SimDuration metrics_period = 0;
 };
 
 class Replicator {

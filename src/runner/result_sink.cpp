@@ -223,7 +223,19 @@ void write_metrics_json(std::ostream& os,
       os << "{\"label\":\"" << json_escape(po.point.label)
          << "\",\"point\":" << trial.point
          << ",\"replicate\":" << trial.replicate << ",\"seed\":" << trial.seed
-         << ",\"snapshot\":" << obs::to_json(trial.scenario.metrics) << "}";
+         << ",\"snapshot\":" << obs::to_json(trial.scenario.metrics);
+      if (!trial.scenario.metrics_series.empty()) {
+        // Periodic snapshots (--metrics-period): the same document shape as
+        // "snapshot", ordered by sim time.
+        os << ",\"series\":[";
+        for (std::size_t s = 0; s < trial.scenario.metrics_series.size();
+             ++s) {
+          os << (s == 0 ? "" : ",")
+             << obs::to_json(trial.scenario.metrics_series[s]);
+        }
+        os << "]";
+      }
+      os << "}";
     }
   }
   os << "\n]}\n";

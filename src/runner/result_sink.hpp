@@ -89,7 +89,8 @@ class ResultSink {
 /// (schema "resex.metrics/v1"): entries ordered by (point, replicate), each
 /// carrying the point label, seed, and the snapshot taken at the end of the
 /// trial. Trials run without ScenarioConfig::collect_metrics contribute
-/// empty snapshots.
+/// empty snapshots; trials run with ScenarioConfig::metrics_period also
+/// carry a "series" array of periodic snapshots ordered by sim time.
 void write_metrics_json(std::ostream& os,
                         const std::vector<PointOutcome>& outcomes);
 

@@ -7,10 +7,15 @@ std::vector<PointOutcome> run_sweep(std::vector<SweepPoint> points,
   if (opts.seed.has_value()) {
     for (auto& p : points) p.config.seed = *opts.seed;
   }
+  if (!opts.faults.empty()) {
+    for (auto& p : points) p.config.faults = opts.faults;
+  }
   ThreadPool pool(opts.resolved_jobs());
   ObsOptions obs;
   obs.trace_base = opts.trace_path;
   obs.collect_metrics = !opts.metrics_path.empty();
+  obs.metrics_period = static_cast<sim::SimDuration>(
+      opts.metrics_period_ms * static_cast<double>(sim::kMillisecond));
   return Replicator(pool, opts.seeds, std::move(obs)).run(points);
 }
 

@@ -247,6 +247,54 @@ TEST(Evaluation, ScenarioCapturesTraceAndMetricsWhenAsked) {
   std::remove(cfg.trace_path.c_str());
 }
 
+TEST(Evaluation, PeriodicMetricsSnapshotsFormATimeSeries) {
+  ScenarioConfig cfg;
+  cfg.warmup = 20_ms;
+  cfg.duration = 60_ms;
+  cfg.collect_metrics = true;
+  cfg.metrics_period = 10_ms;
+  const auto r = run_scenario(cfg);
+  // One snapshot per period over the 80 ms run (none at t=0).
+  ASSERT_EQ(r.metrics_series.size(), 8u);
+  for (std::size_t i = 0; i < r.metrics_series.size(); ++i) {
+    EXPECT_EQ(r.metrics_series[i].at, (i + 1) * 10_ms);
+    EXPECT_FALSE(r.metrics_series[i].samples.empty());
+  }
+  // Counters are cumulative, so the series is monotone in transfers.
+  auto transfers = [](const obs::MetricsSnapshot& s) {
+    for (const auto& m : s.samples) {
+      if (m.name == "fabric.transfers") return m.value;
+    }
+    return -1.0;
+  };
+  EXPECT_GE(transfers(r.metrics_series.back()),
+            transfers(r.metrics_series.front()));
+  EXPECT_GT(transfers(r.metrics_series.back()), 0.0);
+
+  // Without a period the series stays empty (snapshot-only behaviour).
+  ScenarioConfig flat = cfg;
+  flat.metrics_period = 0;
+  EXPECT_TRUE(run_scenario(flat).metrics_series.empty());
+}
+
+TEST(Evaluation, EmptyFaultPlanLeavesScenarioByteIdentical) {
+  // resex::fault is linked into every scenario run; with no plan armed the
+  // fabric must keep its perfect-link fast path, bit for bit.
+  ScenarioConfig cfg;
+  cfg.warmup = 20_ms;
+  cfg.duration = 60_ms;
+  const auto plain = run_scenario(cfg);
+  ScenarioConfig empty_faults = cfg;
+  empty_faults.faults = "";  // explicit empty spec == no plan at all
+  const auto faulted = run_scenario(empty_faults);
+  EXPECT_EQ(plain.reporting[0].requests, faulted.reporting[0].requests);
+  EXPECT_EQ(plain.reporting[0].client_mean_us,
+            faulted.reporting[0].client_mean_us);
+  EXPECT_EQ(plain.reporting[0].client_latency_us.values(),
+            faulted.reporting[0].client_latency_us.values());
+  EXPECT_EQ(plain.interferer_mbps, faulted.interferer_mbps);
+}
+
 TEST(Evaluation, UntracedScenarioRecordsNothing) {
   ScenarioConfig cfg;
   cfg.warmup = 20_ms;

@@ -215,6 +215,31 @@ TEST_F(IbMonFixture, UnknownDomainGivesZeroStats) {
   EXPECT_EQ(st.send_bytes, 0u);
 }
 
+TEST_F(IbMonFixture, StalenessTracksObservationGaps) {
+  IbMon smon{world.sim,
+             IbMonConfig{.sample_period = 100 * sim::kMicrosecond,
+                         .mtu_bytes = 1024,
+                         .stale_after = 5 * sim::kMillisecond}};
+  smon.watch_cq(*ep.domain, *ep.send_cq);
+  smon.start();
+  EXPECT_FALSE(smon.stale(ep.domain->id()));
+  // A completion at 2 ms keeps the domain fresh at 4 ms...
+  world.sim.schedule_at(2 * sim::kMillisecond,
+                        [&] { ep.send_cq->produce(send_cqe(1, 64)); });
+  world.sim.run_until(4 * sim::kMillisecond);
+  EXPECT_FALSE(smon.stale(ep.domain->id()));
+  // ...but 5+ ms of ring silence crosses the threshold.
+  world.sim.run_until(8 * sim::kMillisecond);
+  EXPECT_TRUE(smon.stale(ep.domain->id()));
+  // Fresh completions clear it again.
+  ep.send_cq->produce(send_cqe(2, 64));
+  world.sim.run_until(9 * sim::kMillisecond);
+  EXPECT_FALSE(smon.stale(ep.domain->id()));
+  // Unknown domains are never stale; stale_after = 0 disables the check.
+  EXPECT_FALSE(smon.stale(777));
+  EXPECT_FALSE(mon.stale(ep.domain->id()));
+}
+
 TEST_F(IbMonFixture, EndToEndAgainstRealTraffic) {
   // Drive real RDMA traffic and check IBMon's reconstruction matches the
   // hardware counters.
