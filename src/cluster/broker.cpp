@@ -1,0 +1,97 @@
+#include "cluster/broker.hpp"
+
+#include "obs/trace.hpp"
+
+namespace resex::cluster {
+
+ClusterBroker::ClusterBroker(Cluster& cluster, core::ClusterExchange& exchange,
+                             MigrationEngine& engine, BrokerConfig config)
+    : cluster_(&cluster), exchange_(&exchange), engine_(&engine),
+      config_(config), prev_(cluster.node_count()) {}
+
+void ClusterBroker::manage(Service& svc, double baseline_us) {
+  services_.push_back(Managed{&svc, baseline_us, std::nullopt});
+}
+
+void ClusterBroker::start() {
+  if (started_) return;
+  started_ = true;
+  cluster_->sim().spawn(run());
+}
+
+sim::Task ClusterBroker::run() {
+  auto& sim = cluster_->sim();
+  for (;;) {
+    co_await sim.delay(config_.period);
+    post_quotes();
+    decide();
+  }
+}
+
+void ClusterBroker::post_quotes() {
+  auto& sim = cluster_->sim();
+  const auto period = static_cast<double>(config_.period);
+  for (std::uint32_t i = 0; i < cluster_->node_count(); ++i) {
+    auto& hca = cluster_->hca(i);
+    auto& node = cluster_->node(i);
+    const sim::SimDuration up = hca.uplink().busy_time();
+    const sim::SimDuration down = hca.downlink().busy_time();
+    const double io = static_cast<double>(
+                          std::max(up - prev_[i].up, down - prev_[i].down)) /
+                      period;
+    prev_[i] = PortSnapshot{up, down};
+    const std::uint32_t pcpus = node.scheduler().pcpu_count();
+    const std::uint32_t free = node.free_pcpu_count();
+    core::NodePriceQuote q;
+    q.node_id = i;
+    q.io_price = io;
+    q.cpu_price =
+        pcpus == 0 ? 0.0 : static_cast<double>(pcpus - free) / pcpus;
+    q.free_pcpus = free;
+    q.posted_at = sim.now();
+    exchange_->post(q);
+  }
+}
+
+void ClusterBroker::decide() {
+  auto& sim = cluster_->sim();
+  if (engine_->in_progress() || requested_ >= config_.max_migrations) return;
+
+  // Worst offender above the SLA threshold; registration order breaks ties.
+  Managed* worst = nullptr;
+  double worst_ratio = 1.0 + config_.sla_threshold_pct / 100.0;
+  for (auto& m : services_) {
+    if (m.last_migration &&
+        sim.now() - *m.last_migration < config_.cooldown) {
+      continue;
+    }
+    const auto* agent = m.svc->agent();
+    if (agent == nullptr || m.baseline_us <= 0.0) continue;
+    const auto snap = agent->snapshot();
+    if (snap.reports < config_.min_reports) continue;
+    const double ratio = snap.mean_us / m.baseline_us;
+    if (ratio > worst_ratio) {
+      worst = &m;
+      worst_ratio = ratio;
+    }
+  }
+  if (worst == nullptr) return;
+
+  const std::uint32_t src = worst->svc->server_node_id();
+  const auto* src_quote = exchange_->quote(src);
+  const auto* dst_quote = exchange_->cheapest(1, src);
+  if (src_quote == nullptr || dst_quote == nullptr) return;
+  if (core::ClusterExchange::blended(*dst_quote) + config_.min_price_advantage >
+      core::ClusterExchange::blended(*src_quote)) {
+    return;
+  }
+
+  RESEX_TRACE_INSTANT(sim.tracer(), "broker.migrate", "cluster",
+                      {"src", static_cast<double>(src)},
+                      {"dst", static_cast<double>(dst_quote->node_id)});
+  worst->last_migration = sim.now();
+  ++requested_;
+  engine_->migrate(*worst->svc, dst_quote->node_id);
+}
+
+}  // namespace resex::cluster

@@ -1,0 +1,40 @@
+#include "core/cluster_exchange.hpp"
+
+#include <algorithm>
+
+namespace resex::core {
+
+void ClusterExchange::post(const NodePriceQuote& quote) {
+  const auto it = std::lower_bound(
+      book_.begin(), book_.end(), quote.node_id,
+      [](const NodePriceQuote& q, std::uint32_t id) { return q.node_id < id; });
+  if (it != book_.end() && it->node_id == quote.node_id) {
+    *it = quote;
+  } else {
+    book_.insert(it, quote);
+  }
+}
+
+const NodePriceQuote* ClusterExchange::quote(std::uint32_t node_id) const {
+  const auto it = std::lower_bound(
+      book_.begin(), book_.end(), node_id,
+      [](const NodePriceQuote& q, std::uint32_t id) { return q.node_id < id; });
+  return it != book_.end() && it->node_id == node_id ? &*it : nullptr;
+}
+
+const NodePriceQuote* ClusterExchange::cheapest(std::uint32_t min_free_pcpus,
+                                                std::uint32_t exclude,
+                                                double io_weight,
+                                                double cpu_weight) const {
+  const NodePriceQuote* best = nullptr;
+  for (const auto& q : book_) {  // ascending node_id: ties keep the first
+    if (q.node_id == exclude || q.free_pcpus < min_free_pcpus) continue;
+    if (best == nullptr || blended(q, io_weight, cpu_weight) <
+                               blended(*best, io_weight, cpu_weight)) {
+      best = &q;
+    }
+  }
+  return best;
+}
+
+}  // namespace resex::core

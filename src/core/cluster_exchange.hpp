@@ -1,0 +1,62 @@
+#pragma once
+// Cluster-level resource exchange (the ResEx market, one level up).
+//
+// Each node's broker agent posts a quote every period: what CPU and I/O cost
+// on that node right now, derived from the same observations node-local ResEx
+// prices on (PCPU occupancy, host-port utilization). The cluster broker reads
+// the aggregated book to answer the paper's Section VII question at cluster
+// scale: is there a node where this latency-sensitive VM's resources are
+// cheaper than where it runs today, by enough to pay for the move?
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace resex::core {
+
+/// One node's advertised state, refreshed every broker period.
+struct NodePriceQuote {
+  std::uint32_t node_id = ~std::uint32_t{0};
+  /// Host-port utilization price in [0, ~1]: max of uplink/downlink busy
+  /// fraction over the quote period (a saturated port prices I/O at 1).
+  double io_price = 0.0;
+  /// PCPU occupancy fraction in [0, 1] (pinned VCPUs / PCPUs).
+  double cpu_price = 0.0;
+  /// PCPUs with no pinned VCPU — placement capacity.
+  std::uint32_t free_pcpus = 0;
+  sim::SimTime posted_at = 0;
+};
+
+class ClusterExchange {
+ public:
+  /// Post (or refresh) a node's quote; upserts by node id.
+  void post(const NodePriceQuote& quote);
+
+  /// The current quote for a node, or nullptr if it never posted.
+  [[nodiscard]] const NodePriceQuote* quote(std::uint32_t node_id) const;
+
+  /// Blended price of a quote: io-dominant by default, matching the paper's
+  /// finding that the fabric port — not CPU — is where interference lives.
+  [[nodiscard]] static double blended(const NodePriceQuote& q,
+                                      double io_weight = 1.0,
+                                      double cpu_weight = 0.25) {
+    return io_weight * q.io_price + cpu_weight * q.cpu_price;
+  }
+
+  /// Cheapest node (by blended price) that has at least `min_free_pcpus`
+  /// free and is not `exclude`. Ties break towards the lowest node id, so
+  /// the answer is deterministic. Returns nullptr when no node qualifies.
+  [[nodiscard]] const NodePriceQuote* cheapest(
+      std::uint32_t min_free_pcpus, std::uint32_t exclude,
+      double io_weight = 1.0, double cpu_weight = 0.25) const;
+
+  [[nodiscard]] const std::vector<NodePriceQuote>& book() const noexcept {
+    return book_;
+  }
+
+ private:
+  std::vector<NodePriceQuote> book_;  // sorted by node_id (deterministic)
+};
+
+}  // namespace resex::core

@@ -17,7 +17,8 @@ Hca::Hca(Fabric& fabric, hv::Node& node, std::uint32_t hca_id)
                                       node.name() + "/up");
   downlink_ = std::make_unique<Channel>(sim, fabric.config(),
                                         node.name() + "/down");
-  uplink_->set_sink([f = fabric_](detail::Packet p) { f->route(std::move(p)); });
+  uplink_->set_sink(
+      [this](detail::Packet p) { fabric_->route_from(*this, std::move(p)); });
   downlink_->set_sink([this](detail::Packet p) { on_packet(std::move(p)); });
   // Fabric-wide aggregates (same entries for every HCA on this simulation),
   // resolved once so the data path only touches raw counters.
@@ -123,7 +124,14 @@ void Hca::post_send(QueuePair& qp, SendWr wr) {
   auto& sim = fabric_->simulation();
   const sim::SimTime pickup = std::max(
       sim.now() + cfg.doorbell_latency + cfg.wqe_processing, stall_until_);
-  sim.schedule_at(pickup, [this, &qp, wr = std::move(wr)]() mutable {
+  sim.schedule_at(pickup,
+                  [this, &qp, wr = std::move(wr), rung = sim.now()]() mutable {
+    auto& tracer = fabric_->simulation().tracer();
+    if (tracer.enabled()) {
+      tracer.complete("hca.wqe_fetch", "fabric", rung,
+                      fabric_->simulation().now() - rung,
+                      {"qp", static_cast<double>(qp.num())}, {"wqes", 1.0});
+    }
     process_wqe(qp, std::move(wr));
   });
 }
@@ -137,8 +145,20 @@ void Hca::ring_doorbell(QueuePair& qp) {
   auto& sim = fabric_->simulation();
   const sim::SimTime pickup = std::max(
       sim.now() + cfg.doorbell_latency + cfg.wqe_processing, stall_until_);
-  sim.schedule_at(pickup, [this, &qp] {
+  sim.schedule_at(pickup, [this, &qp, rung = sim.now()] {
     const std::uint64_t announced = qp.doorbell_value();
+    auto& tracer = fabric_->simulation().tracer();
+    if (tracer.enabled()) {
+      // Doorbell-to-pickup latency span, covering the configured fetch costs
+      // plus any injected pipeline stall.
+      tracer.complete("hca.doorbell", "fabric", rung,
+                      fabric_->simulation().now() - rung,
+                      {"qp", static_cast<double>(qp.num())},
+                      {"wqes", static_cast<double>(
+                                   announced > qp.sq_fetched()
+                                       ? announced - qp.sq_fetched()
+                                       : 0)});
+    }
     while (qp.sq_fetched() < announced) {
       process_wqe(qp, qp.fetch_wqe(qp.sq_fetched()));
     }
@@ -524,12 +544,60 @@ Fabric::Fabric(sim::Simulation& sim, FabricConfig config)
   if (config_.mtu_bytes == 0 || config_.link_bytes_per_sec <= 0.0) {
     throw std::invalid_argument("Fabric: bad config");
   }
+  switch_hops_ = &sim_.metrics().counter("fabric.switch_hops");
 }
 
-Hca& Fabric::add_node(hv::Node& node) {
+Hca& Fabric::add_node(hv::Node& node) { return add_node(node, 0); }
+
+Hca& Fabric::add_node(hv::Node& node, std::uint32_t switch_id) {
+  if (switch_id >= switch_count_) {
+    throw std::invalid_argument("Fabric::add_node: no such switch");
+  }
   hcas_.push_back(std::make_unique<Hca>(
       *this, node, static_cast<std::uint32_t>(hcas_.size())));
+  hca_switch_.push_back(switch_id);
   return *hcas_.back();
+}
+
+std::uint32_t Fabric::add_switch() { return switch_count_++; }
+
+void Fabric::add_trunk(std::uint32_t a, std::uint32_t b,
+                       double bandwidth_scale) {
+  if (a >= switch_count_ || b >= switch_count_ || a == b) {
+    throw std::invalid_argument("Fabric::add_trunk: bad switch pair");
+  }
+  if (bandwidth_scale <= 0.0) {
+    throw std::invalid_argument("Fabric::add_trunk: bad bandwidth scale");
+  }
+  if (trunk_by_pair_.contains(pair_key(a, b))) {
+    throw std::invalid_argument("Fabric::add_trunk: trunk already exists");
+  }
+  for (const auto& [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+    auto t = std::make_unique<Trunk>();
+    t->config = config_;
+    t->config.link_bytes_per_sec *= bandwidth_scale;
+    t->channel = std::make_unique<Channel>(
+        sim_, t->config,
+        "sw" + std::to_string(from) + "->sw" + std::to_string(to));
+    t->channel->set_sink(
+        [this, to](detail::Packet p) { hop(to, std::move(p)); });
+    if (fault_hook_ != nullptr) t->channel->set_fault_hook(fault_hook_);
+    trunk_by_pair_.emplace(pair_key(from, to), t->channel.get());
+    trunks_.push_back(std::move(t));
+  }
+}
+
+void Fabric::set_route(std::uint32_t at, std::uint32_t dst,
+                       std::uint32_t via) {
+  if (trunk(at, via) == nullptr) {
+    throw std::invalid_argument("Fabric::set_route: via is not trunk-adjacent");
+  }
+  routes_[pair_key(at, dst)] = via;
+}
+
+Channel* Fabric::trunk(std::uint32_t a, std::uint32_t b) noexcept {
+  const auto it = trunk_by_pair_.find(pair_key(a, b));
+  return it == trunk_by_pair_.end() ? nullptr : it->second;
 }
 
 void Fabric::set_fault_hook(FaultHook* hook) noexcept {
@@ -538,6 +606,7 @@ void Fabric::set_fault_hook(FaultHook* hook) noexcept {
     h->uplink().set_fault_hook(hook);
     h->downlink().set_fault_hook(hook);
   }
+  for (auto& t : trunks_) t->channel->set_fault_hook(hook);
 }
 
 void Fabric::connect(QueuePair& a, QueuePair& b) {
@@ -545,12 +614,35 @@ void Fabric::connect(QueuePair& a, QueuePair& b) {
   b.set_peer(a);
 }
 
-void Fabric::route(detail::Packet pkt) {
-  // The destination port's downlink is determined by the QP the transfer is
-  // addressed to (dst_qp is always the receiving end, including for read
-  // responses).
+void Fabric::route_from(const Hca& src, detail::Packet pkt) {
+  hop(switch_of(src.id()), std::move(pkt));
+}
+
+void Fabric::hop(std::uint32_t sw, detail::Packet pkt) {
+  // The destination port is determined by the QP the transfer is addressed
+  // to (dst_qp is always the receiving end, including for read responses).
   Hca& dst = pkt.transfer->dst_qp->hca();
-  dst.downlink().enqueue(std::move(pkt));
+  const std::uint32_t dst_sw = switch_of(dst.id());
+  switch_hops_->add();
+  RESEX_TRACE_INSTANT(sim_.tracer(), "pkt.hop", "fabric",
+                      {"switch", static_cast<double>(sw)},
+                      {"qp", static_cast<double>(pkt.transfer->src_qp->num())});
+  if (dst_sw == sw) {
+    dst.downlink().enqueue(std::move(pkt));
+    return;
+  }
+  std::uint32_t next = dst_sw;
+  if (const auto it = routes_.find(pair_key(sw, dst_sw));
+      it != routes_.end()) {
+    next = it->second;
+  }
+  Channel* out = trunk(sw, next);
+  if (out == nullptr) {
+    throw std::logic_error("Fabric::hop: no route from sw" +
+                           std::to_string(sw) + " towards sw" +
+                           std::to_string(dst_sw));
+  }
+  out->enqueue(std::move(pkt));
 }
 
 }  // namespace resex::fabric

@@ -153,7 +153,20 @@ class Hca {
   sim::SimTime stall_until_ = 0;
 };
 
-/// The fabric: configuration, the switch, and the set of attached HCAs.
+/// The fabric: configuration, one or more switches with inter-switch trunk
+/// links, and the set of attached HCAs.
+///
+/// Switch 0 always exists, so the historical single-switch topology needs no
+/// setup: `add_node(node)` attaches to switch 0 and packets between two HCAs
+/// on the same switch take exactly one hop (uplink -> downlink), unchanged.
+/// Multi-switch topologies add switches with `add_switch()`, wire them with
+/// directed trunk channel pairs via `add_trunk()`, and steer traffic with
+/// per-switch routing tables (`set_route`); a switch without a table entry
+/// falls back to a direct trunk to the destination switch. Every trunk is a
+/// full Channel — store-and-forward hops compose: each hop charges its own
+/// serialization + propagation, and cross-switch flows arbitrate per-QP
+/// against whatever else shares the trunk (migration traffic interferes with
+/// tenant QPs here).
 class Fabric {
  public:
   explicit Fabric(sim::Simulation& sim, FabricConfig config = {});
@@ -161,8 +174,34 @@ class Fabric {
   [[nodiscard]] sim::Simulation& simulation() noexcept { return sim_; }
   [[nodiscard]] const FabricConfig& config() const noexcept { return config_; }
 
-  /// Attach a node to the switch; creates its HCA and both link channels.
+  /// Attach a node to switch 0; creates its HCA and both link channels.
   Hca& add_node(hv::Node& node);
+  /// Attach a node to a specific switch (which must already exist).
+  Hca& add_node(hv::Node& node, std::uint32_t switch_id);
+
+  /// Add a switch; returns its id. Switch 0 exists from construction.
+  std::uint32_t add_switch();
+
+  /// Connect switches `a` and `b` with a pair of directed trunk channels
+  /// ("sw<a>->sw<b>" and the reverse). `bandwidth_scale` multiplies the
+  /// fabric link rate for this trunk (fat-tree spine links are often fatter
+  /// than host ports). Adding the same pair twice is an error.
+  void add_trunk(std::uint32_t a, std::uint32_t b,
+                 double bandwidth_scale = 1.0);
+
+  /// Routing table entry: packets at switch `at` destined for an HCA on
+  /// switch `dst` leave on the trunk towards `via` (trunk-adjacent to `at`).
+  /// Without an entry the switch requires a direct trunk to `dst`.
+  void set_route(std::uint32_t at, std::uint32_t dst, std::uint32_t via);
+
+  [[nodiscard]] std::uint32_t switch_count() const noexcept {
+    return switch_count_;
+  }
+  [[nodiscard]] std::uint32_t switch_of(std::uint32_t hca_id) const {
+    return hca_switch_.at(hca_id);
+  }
+  /// The directed trunk channel a->b, or nullptr if none exists.
+  [[nodiscard]] Channel* trunk(std::uint32_t a, std::uint32_t b) noexcept;
 
   /// Connect two queue pairs point-to-point (RC semantics).
   static void connect(QueuePair& a, QueuePair& b);
@@ -188,12 +227,34 @@ class Fabric {
 
  private:
   friend class Hca;
-  /// Switch routing: uplink packets go to the destination HCA's downlink.
-  void route(detail::Packet pkt);
+  /// A directed inter-switch link. The per-trunk config copy exists because
+  /// Channel holds its FabricConfig by reference and trunk bandwidth may be
+  /// scaled; the struct is heap-allocated so the reference stays stable.
+  struct Trunk {
+    FabricConfig config;
+    std::unique_ptr<Channel> channel;
+  };
+
+  /// An uplink handed the switch fabric a packet: hop it from the source
+  /// HCA's switch towards the destination HCA.
+  void route_from(const Hca& src, detail::Packet pkt);
+  /// One switch traversal: local destination -> downlink, otherwise forward
+  /// on the trunk the routing table (or a direct trunk) names.
+  void hop(std::uint32_t sw, detail::Packet pkt);
+
+  static std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) noexcept {
+    return (std::uint64_t{a} << 32) | b;
+  }
 
   sim::Simulation& sim_;
   FabricConfig config_;
   std::vector<std::unique_ptr<Hca>> hcas_;
+  std::uint32_t switch_count_ = 1;
+  std::vector<std::uint32_t> hca_switch_;  // hca id -> switch id
+  std::vector<std::unique_ptr<Trunk>> trunks_;
+  std::unordered_map<std::uint64_t, Channel*> trunk_by_pair_;
+  std::unordered_map<std::uint64_t, std::uint32_t> routes_;  // (at,dst)->via
+  obs::Counter* switch_hops_ = nullptr;
   QpNum next_qp_ = 1;
   std::uint32_t next_cq_ = 1;
   FaultHook* fault_hook_ = nullptr;

@@ -79,10 +79,7 @@ bool FaultInjector::flap_active(const fabric::Channel& channel,
                                 sim::SimTime now) const {
   for (const auto& flap : plan_.flaps) {
     if (now < flap.at || now >= flap.at + flap.duration) continue;
-    if (flap.channel.empty() ||
-        channel.name().find(flap.channel) != std::string::npos) {
-      return true;
-    }
+    if (matches_channel(flap.channel, channel.name())) return true;
   }
   return false;
 }

@@ -141,4 +141,32 @@ std::string FaultPlan::to_string() const {
   return out.str();
 }
 
+bool matches_channel(std::string_view pattern, std::string_view name) {
+  if (pattern.empty()) return true;
+  if (pattern.find_first_of("*?") == std::string_view::npos) {
+    return name.find(pattern) != std::string_view::npos;
+  }
+  // Iterative glob over the full name with single-star backtracking: on
+  // mismatch, retry from the character after the last '*' anchor.
+  std::size_t p = 0, n = 0;
+  std::size_t star = std::string_view::npos, anchor = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == name[n])) {
+      ++p;
+      ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      anchor = n;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      n = ++anchor;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
 }  // namespace resex::fault

@@ -8,9 +8,12 @@
 //
 //   drop=P                 drop each packet with probability P (0 <= P < 1)
 //   corrupt=P              corrupt each packet with probability P
-//   flap=AT:DUR[:CHAN]     link down for DUR starting at AT; CHAN is a
-//                          substring match on the channel name ("A/up",
-//                          "/down", ...), empty/omitted = every channel
+//   flap=AT:DUR[:CHAN]     link down for DUR starting at AT; CHAN matches
+//                          the channel name: with `*`/`?` it is a glob over
+//                          the full name ("n*/up" hits every node's uplink,
+//                          "sw0->sw?" the trunks out of switch 0), otherwise
+//                          a plain substring ("A/up", "/down", ...);
+//                          empty/omitted = every channel
 //   stall=AT:DUR[:HCA]     HCA WQE-fetch pipeline stalled for DUR starting
 //                          at AT; HCA is the adapter index, omitted = all
 //   ctl=AT:DUR:EXTRA_US    dom0 control-path hypercalls take EXTRA_US µs
@@ -32,9 +35,17 @@ namespace resex::fault {
 struct LinkFlap {
   sim::SimTime at = 0;
   sim::SimDuration duration = 0;
-  /// Substring matched against Channel::name(); empty matches all channels.
+  /// Matched against Channel::name(): glob over the full name when it
+  /// contains `*` or `?`, substring otherwise; empty matches all channels.
   std::string channel;
 };
+
+/// Channel-name matching used by LinkFlap (exposed for tests): `pattern`
+/// containing `*` (any run, including empty) or `?` (any one character) is
+/// globbed against the whole name; any other non-empty pattern matches as a
+/// substring; an empty pattern matches everything.
+[[nodiscard]] bool matches_channel(std::string_view pattern,
+                                   std::string_view name);
 
 /// One scripted HCA pipeline stall: doorbells rung during the window are not
 /// picked up before it ends (WQE fetch is frozen; the wire keeps moving).

@@ -10,6 +10,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "hv/domain.hpp"
@@ -65,17 +66,43 @@ class Node {
     return nullptr;
   }
 
-  /// All guest domains (excludes dom0), in creation order.
+  /// All guest domains (excludes dom0 and retired domains), creation order.
   [[nodiscard]] std::vector<Domain*> guests() noexcept {
     std::vector<Domain*> out;
     for (auto& d : domains_) {
-      if (!d->is_dom0()) out.push_back(d.get());
+      if (!d->is_dom0() && !retired_.contains(d->id())) out.push_back(d.get());
     }
     return out;
   }
 
   [[nodiscard]] std::size_t domain_count() const noexcept {
     return domains_.size();
+  }
+
+  /// Retire a guest domain (migrated away): detach its VCPU from the credit
+  /// scheduler — freeing its PCPU for new placements — and exclude it from
+  /// guests(). The Domain object itself stays alive so HCA rings, TPT
+  /// entries and foreign mappings into its memory never dangle. Idempotent.
+  void retire_domain(DomainId id) {
+    Domain* d = find_domain(id);
+    if (d == nullptr || d->is_dom0()) {
+      throw std::invalid_argument("Node::retire_domain: bad domain");
+    }
+    if (!retired_.insert(id).second) return;
+    scheduler_.detach(d->vcpu());
+  }
+  [[nodiscard]] bool is_retired(DomainId id) const noexcept {
+    return retired_.contains(id);
+  }
+
+  /// PCPUs with no pinned VCPU — the placement headroom the cluster broker
+  /// checks before migrating a VM here.
+  [[nodiscard]] std::uint32_t free_pcpu_count() const noexcept {
+    std::uint32_t n = 0;
+    for (std::uint32_t p = 0; p < scheduler_.pcpu_count(); ++p) {
+      if (scheduler_.load_of(p) == 0) ++n;
+    }
+    return n;
   }
 
   // --- fault injection: dom0 control-path slowdowns -------------------------
@@ -133,6 +160,7 @@ class Node {
   CreditScheduler scheduler_;
   std::vector<std::unique_ptr<Domain>> domains_;
   std::vector<ControlDelay> control_delays_;
+  std::unordered_set<DomainId> retired_;
 };
 
 /// XenStat-library facade: the narrow hypervisor interface ResEx uses —

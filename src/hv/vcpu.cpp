@@ -9,7 +9,7 @@ Vcpu::Vcpu(sim::Simulation& sim, std::uint32_t id, SliceSchedule schedule)
 
 void Vcpu::checkpoint() {
   const SimTime now = sim_.now();
-  if (is_busy() && now > acct_checkpoint_) {
+  if (!paused_ && is_busy() && now > acct_checkpoint_) {
     busy_accum_ += schedule_.active_time(acct_checkpoint_, now);
   }
   acct_checkpoint_ = now;
@@ -21,7 +21,7 @@ void Vcpu::enqueue(SimDuration work, std::coroutine_handle<> h) {
 }
 
 void Vcpu::start_next() {
-  if (queue_.empty()) return;
+  if (paused_ || queue_.empty()) return;
   checkpoint();  // busy state flips idle -> busy at this instant
   active_ = queue_.front();
   queue_.pop_front();
@@ -76,6 +76,46 @@ void Vcpu::update_schedule(const SliceSchedule& schedule) {
     } else {
       plan_completion();
     }
+  }
+}
+
+void Vcpu::pause() {
+  if (paused_) return;
+  checkpoint();
+  const SimTime now = sim_.now();
+  if (active_) {
+    // Bank the CPU time already accumulated; the remainder completes after
+    // resume() (same bookkeeping as a schedule change).
+    const SimDuration done = schedule_.active_time(work_segment_start_, now);
+    active_->remaining -= std::min(done, active_->remaining);
+    completion_.cancel();
+    if (sim_.tracer().enabled() && now > active_since_) {
+      sim_.tracer().complete("vcpu.run", "hv", active_since_,
+                             now - active_since_,
+                             {"vcpu", static_cast<double>(id_)});
+    }
+  }
+  paused_ = true;
+  RESEX_TRACE_INSTANT(sim_.tracer(), "vcpu.pause", "hv",
+                      {"vcpu", static_cast<double>(id_)});
+}
+
+void Vcpu::resume() {
+  if (!paused_) return;
+  paused_ = false;
+  acct_checkpoint_ = sim_.now();  // nothing accrued while descheduled
+  RESEX_TRACE_INSTANT(sim_.tracer(), "vcpu.resume", "hv",
+                      {"vcpu", static_cast<double>(id_)});
+  if (active_) {
+    work_segment_start_ = sim_.now();
+    active_since_ = sim_.now();
+    if (active_->remaining == 0) {
+      completion_ = sim_.schedule_at(sim_.now(), [this] { complete_active(); });
+    } else {
+      plan_completion();
+    }
+  } else {
+    start_next();
   }
 }
 

@@ -62,6 +62,16 @@ class Vcpu {
   void begin_busy_poll();
   void end_busy_poll();
 
+  /// Stop-and-copy pause: deschedule the VCPU. The in-flight work item keeps
+  /// its remaining CPU need, queued items stay queued, and busy accounting
+  /// stops accruing (a paused VCPU burns nothing, whatever its pollers are
+  /// doing). Idempotent.
+  void pause();
+  /// Resume after pause(): re-plans the in-flight work item from now under
+  /// the current schedule, exactly like a cap change does. Idempotent.
+  void resume();
+  [[nodiscard]] bool paused() const noexcept { return paused_; }
+
   /// Cumulative scheduled-and-busy nanoseconds up to now (XenStat's view of
   /// "CPU consumed").
   [[nodiscard]] std::uint64_t busy_ns();
@@ -98,6 +108,7 @@ class Vcpu {
   sim::EventHandle completion_;
 
   int busy_pollers_ = 0;
+  bool paused_ = false;
   SimTime acct_checkpoint_ = 0;
   std::uint64_t busy_accum_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "ibmon/ibmon.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "sim/task.hpp"
@@ -64,6 +65,7 @@ void IbMon::scan(WatchedCq& w) {
   std::uint64_t consumed = 0;
   std::uint64_t resynced = 0;
   std::uint64_t newest_ts = w.last_ts;
+  std::vector<double> scan_gaps;
   for (;;) {
     const fabric::Cqe cqe = read_slot(w, w.shadow);
     const std::uint8_t expected = owner_for(w, w.shadow);
@@ -80,6 +82,7 @@ void IbMon::scan(WatchedCq& w) {
           w.ewma_gap_ns =
               w.ewma_gap_ns == 0.0 ? gap
                                    : 0.875 * w.ewma_gap_ns + 0.125 * gap;
+          scan_gaps.push_back(gap);
         }
         w.prev_consumed_ts = cqe.timestamp_ns;
       }
@@ -132,23 +135,35 @@ void IbMon::scan(WatchedCq& w) {
     }
     break;
   }
+  if (!scan_gaps.empty()) {
+    // Refresh the robust rate estimate from this scan's consumed gaps. The
+    // median shrugs off the handful of wide gaps a resync leaves behind,
+    // which otherwise inflate the EWMA and make the extrapolation below
+    // undercount the lost lap(s).
+    auto mid = scan_gaps.begin() +
+               static_cast<std::ptrdiff_t>(scan_gaps.size() / 2);
+    std::nth_element(scan_gaps.begin(), mid, scan_gaps.end());
+    w.median_gap_ns = *mid;
+  }
   if (resynced > 0) {
     // Charge the lost lap(s). Each overwritten slot proves at least one
     // lost completion, but when the producer lapped the ring k times only
     // the last lap's overwrites are visible — a pure per-slot charge
     // undercounts by (k-1) rings. Extrapolate from the observed completion
     // rate instead: the timestamp span this scan covered, divided by the
-    // EWMA inter-completion gap, estimates how many completions the app
-    // produced; what we did not consume, we missed. (Entries still pending
-    // in the ring are counted here and consumed next scan without a span
-    // contribution, so the overshoot cancels across scans.) The per-slot
-    // count stays as the lower bound and as the fallback when timestamps
-    // carry no rate signal.
+    // median inter-completion gap (EWMA fallback), estimates how many
+    // completions the app produced; what we did not consume, we missed.
+    // (Entries still pending in the ring are counted here and consumed next
+    // scan without a span contribution, so the overshoot cancels across
+    // scans.) The per-slot count stays as the lower bound and as the
+    // fallback when timestamps carry no rate signal.
     auto& st = stats_[w.domain];
     std::uint64_t missed = resynced;
-    if (w.ewma_gap_ns > 0.0 && window_start > 0 && newest_ts > window_start) {
+    const double gap_est =
+        w.median_gap_ns > 0.0 ? w.median_gap_ns : w.ewma_gap_ns;
+    if (gap_est > 0.0 && window_start > 0 && newest_ts > window_start) {
       const auto produced = static_cast<std::uint64_t>(
-          static_cast<double>(newest_ts - window_start) / w.ewma_gap_ns);
+          static_cast<double>(newest_ts - window_start) / gap_est);
       if (produced > consumed && produced - consumed > missed) {
         missed = produced - consumed;
       }

@@ -103,6 +103,12 @@ class IbMon {
     /// completions to the side this CQ actually carries — charging a lapped
     /// recv ring as send bytes would inflate the charging metric.
     double ewma_gap_ns = 0.0;
+    /// Median inter-completion gap of the most recent scan that observed at
+    /// least one gap. The resync charge prefers this over the EWMA: across a
+    /// resynced region the EWMA is inflated by the few wide gaps that
+    /// survive re-seeding, while the median of the gaps actually consumed
+    /// this scan tracks the app's steady rate (ROADMAP A2).
+    double median_gap_ns = 0.0;
     double ewma_send_bytes = 0.0;
     double ewma_recv_bytes = 0.0;
     std::uint64_t seen_send = 0;

@@ -55,6 +55,7 @@ class GuestMemory {
   void write(GuestAddr addr, std::span<const std::byte> data) {
     check_range(addr, data.size());
     std::memcpy(bytes_.data() + addr, data.data(), data.size());
+    if (dirty_tracking_) mark_dirty(addr, data.size());
   }
 
   /// Copy bytes out of guest memory. Throws BadGuestAccess on overflow.
@@ -69,6 +70,7 @@ class GuestMemory {
     static_assert(std::is_trivially_copyable_v<T>);
     check_range(addr, sizeof(T));
     std::memcpy(bytes_.data() + addr, &value, sizeof(T));
+    if (dirty_tracking_) mark_dirty(addr, sizeof(T));
   }
 
   /// Read a trivially-copyable object at `addr`.
@@ -85,6 +87,41 @@ class GuestMemory {
   void zero(GuestAddr addr, std::size_t len) {
     check_range(addr, len);
     std::memset(bytes_.data() + addr, 0, len);
+    if (dirty_tracking_) mark_dirty(addr, len);
+  }
+
+  // --- dirty-page tracking (live migration log-dirty mode) ------------------
+
+  /// Enable page-granular write tracking, the simulation analogue of Xen's
+  /// log-dirty mode. All writes — guest stores and HCA DMA alike (CQE rings
+  /// keep re-dirtying their pages, honestly) — mark their pages. Enabling
+  /// starts with a clean map; disabling drops it.
+  void set_dirty_tracking(bool enabled) {
+    dirty_tracking_ = enabled;
+    dirty_.assign(enabled ? page_count() : 0, false);
+  }
+  [[nodiscard]] bool dirty_tracking() const noexcept {
+    return dirty_tracking_;
+  }
+
+  /// Pages dirtied since tracking was enabled or last collected, clearing
+  /// the map (the migration pre-copy "peek and clean" step). Page numbers
+  /// ascend.
+  [[nodiscard]] std::vector<std::size_t> collect_dirty_pages() {
+    std::vector<std::size_t> pages;
+    for (std::size_t p = 0; p < dirty_.size(); ++p) {
+      if (dirty_[p]) {
+        pages.push_back(p);
+        dirty_[p] = false;
+      }
+    }
+    return pages;
+  }
+
+  [[nodiscard]] std::size_t dirty_page_count() const noexcept {
+    std::size_t n = 0;
+    for (const bool d : dirty_) n += d ? 1 : 0;
+    return n;
   }
 
   // --- foreign mapping (introspection) --------------------------------------
@@ -120,8 +157,17 @@ class GuestMemory {
     }
   }
 
+  void mark_dirty(GuestAddr addr, std::size_t len) {
+    if (len == 0) return;
+    const std::size_t first = addr / kPageSize;
+    const std::size_t last = (addr + len - 1) / kPageSize;
+    for (std::size_t p = first; p <= last; ++p) dirty_[p] = true;
+  }
+
   std::vector<std::byte> bytes_;
   bool foreign_mappable_ = false;
+  bool dirty_tracking_ = false;
+  std::vector<bool> dirty_;  // page-granular write log (empty when disabled)
 };
 
 /// Simple bump allocator over a GuestMemory, used by guest applications to

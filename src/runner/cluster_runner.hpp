@@ -1,0 +1,38 @@
+#pragma once
+// Runner integration for resex::cluster: sweep ClusterScenarioConfig points
+// with the same CLI surface, seed-split replication and ordering guarantees
+// as core scenarios. Every trial builds its own Cluster simulation, so
+// results are byte-identical for any --jobs value.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/scenario.hpp"
+#include "runner/options.hpp"
+#include "runner/sweep.hpp"
+
+namespace resex::runner {
+
+struct ClusterPoint {
+  std::string label;
+  std::vector<Param> params;
+  cluster::ClusterScenarioConfig config;
+};
+
+struct ClusterOutcome {
+  std::string label;
+  std::vector<Param> params;
+  std::vector<std::uint64_t> seeds;  // per replicate
+  std::vector<cluster::ClusterScenarioResult> trials;  // replicate order
+};
+
+/// Run every point opts.seeds times (replicate r of a point derives
+/// sim::derive(config.seed, r)); opts.seed overrides base seeds, opts.faults
+/// overrides fault plans, opts.trace_path/metrics options wire per-trial
+/// observability exactly like run_sweep. Outcomes are ordered by
+/// (point, replicate) regardless of --jobs.
+[[nodiscard]] std::vector<ClusterOutcome> run_cluster(
+    std::vector<ClusterPoint> points, const RunnerOptions& opts);
+
+}  // namespace resex::runner

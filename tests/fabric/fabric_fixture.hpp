@@ -35,6 +35,27 @@ struct Endpoint {
   mem::RegisteredRegion mr;
 };
 
+/// Create a guest domain with an endpoint on the given HCA (free function so
+/// custom topologies — multi-switch worlds, span tests — can reuse it).
+inline Endpoint make_endpoint_on(hv::Node& node, Hca& hca,
+                                 const std::string& name,
+                                 std::size_t buf_bytes = 64 * 1024,
+                                 std::uint32_t cq_entries = 1024) {
+  Endpoint ep;
+  ep.domain = &node.create_domain(
+      {.name = name, .mem_pages = 2048});  // 8 MiB
+  ep.verbs = std::make_unique<Verbs>(hca, *ep.domain);
+  ep.pd = hca.alloc_pd(*ep.domain);
+  ep.send_cq = &hca.create_cq(*ep.domain, cq_entries);
+  ep.recv_cq = &hca.create_cq(*ep.domain, cq_entries);
+  ep.qp = &hca.create_qp(*ep.domain, ep.pd, *ep.send_cq, *ep.recv_cq);
+  ep.buf = ep.domain->allocator().allocate(buf_bytes, mem::kPageSize);
+  ep.mr = hca.reg_mr(ep.pd, *ep.domain, ep.buf, buf_bytes,
+                     mem::Access::kLocalWrite | mem::Access::kRemoteWrite |
+                         mem::Access::kRemoteRead);
+  return ep;
+}
+
 struct TwoNodeWorld {
   sim::Simulation sim;
   hv::Node node_a{sim, "A", 8};
@@ -52,19 +73,7 @@ struct TwoNodeWorld {
   Endpoint make_endpoint(hv::Node& node, Hca& hca, const std::string& name,
                          std::size_t buf_bytes = 64 * 1024,
                          std::uint32_t cq_entries = 1024) {
-    Endpoint ep;
-    ep.domain = &node.create_domain(
-        {.name = name, .mem_pages = 2048});  // 8 MiB
-    ep.verbs = std::make_unique<Verbs>(hca, *ep.domain);
-    ep.pd = hca.alloc_pd(*ep.domain);
-    ep.send_cq = &hca.create_cq(*ep.domain, cq_entries);
-    ep.recv_cq = &hca.create_cq(*ep.domain, cq_entries);
-    ep.qp = &hca.create_qp(*ep.domain, ep.pd, *ep.send_cq, *ep.recv_cq);
-    ep.buf = ep.domain->allocator().allocate(buf_bytes, mem::kPageSize);
-    ep.mr = hca.reg_mr(ep.pd, *ep.domain, ep.buf, buf_bytes,
-                       mem::Access::kLocalWrite | mem::Access::kRemoteWrite |
-                           mem::Access::kRemoteRead);
-    return ep;
+    return make_endpoint_on(node, hca, name, buf_bytes, cq_entries);
   }
 
   /// Endpoint pair connected across the two nodes.

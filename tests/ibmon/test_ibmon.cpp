@@ -192,6 +192,56 @@ TEST_F(IbMonFixture, FractionalLapChargesOnlyOverwrittenSlots) {
   EXPECT_EQ(st.send_bytes, (1034u + 10u) * 2048u);
 }
 
+TEST_F(IbMonFixture, MedianGapResistsSlowTailAt500msSampling) {
+  // ROADMAP A2 regression: sampled at 500 ms the ring laps ~9x between
+  // scans, so the resync charge must extrapolate the lost completions from
+  // the inter-completion gap. The EWMA estimate is dominated by the most
+  // recently consumed gaps — a brief slow tail right before each scan
+  // inflates it ~25x and the reconstruction used to collapse to ~20 % of
+  // the truth. The per-scan median shrugs the tail off.
+  IbMon smon{world.sim, IbMonConfig{.sample_period = 500 * sim::kMillisecond,
+                                    .mtu_bytes = 1024}};
+  smon.watch_cq(*ep.domain, *ep.send_cq);
+  // Baseline completion + sample so the very first 500 ms window has a
+  // nonzero timestamp span to extrapolate over.
+  world.sim.schedule_at(1_us, [this] {
+    ep.send_cq->produce(send_cqe(1, 2048));
+    (void)ep.send_cq->poll();
+  });
+  world.sim.schedule_at(2_us, [&smon] { smon.sample_now(); });
+
+  std::uint64_t produced = 1;
+  world.sim.spawn([](sim::Simulation& sim, Endpoint& e,
+                     std::uint64_t& total) -> Task {
+    co_await sim.delay(10 * sim::kMicrosecond);
+    for (int window = 0; window < 4; ++window) {
+      for (int i = 0; i < 9600; ++i) {  // steady phase: one per 50 us
+        e.send_cq->produce(send_cqe(1, 2048));
+        (void)e.send_cq->poll();
+        ++total;
+        co_await sim.delay(50 * sim::kMicrosecond);
+      }
+      for (int i = 0; i < 10; ++i) {  // slow tail: one per 2 ms
+        e.send_cq->produce(send_cqe(1, 2048));
+        (void)e.send_cq->poll();
+        ++total;
+        co_await sim.delay(2 * sim::kMillisecond);
+      }
+    }
+  }(world.sim, ep, produced));
+
+  smon.start();
+  world.sim.run_until(2100 * sim::kMillisecond);
+  smon.sample_now();  // sweep entries produced after the last periodic scan
+
+  const auto st = smon.stats(ep.domain->id());
+  const auto truth = static_cast<double>(produced);
+  const auto seen =
+      static_cast<double>(st.send_completions + st.missed_estimate);
+  EXPECT_GE(seen, 0.85 * truth);
+  EXPECT_LE(seen, 1.15 * truth);
+}
+
 TEST_F(IbMonFixture, PeriodicSamplerRuns) {
   mon.watch_cq(*ep.domain, *ep.send_cq);
   mon.start();
