@@ -1,0 +1,233 @@
+// Incast: N closed-loop senders RDMA-write 64KB blocks into one receiver
+// through a single switch, so the receiver's downlink port is oversubscribed
+// N:1. Three fabric modes at the same offered load:
+//
+//   lossless     infinite port buffers (the historical resex fabric): nothing
+//                drops, latency is pure queueing at the hot port.
+//   taildrop     finite buffers (--buf-pkts worth), no marking: full ports
+//                drop, RC recovers via NAK/RTO, tails blow up with timeouts.
+//   ecn+dcqcn    the same finite buffers plus ECN marking and DCQCN-style
+//                per-QP rate control (resex::congestion): senders back off
+//                before the buffer fills, so drops (and their tails) vanish.
+//
+// Runner-backed via generic points: modes x fan-in run in parallel (--jobs),
+// replicated over derived seeds (--seeds), exported with --json/--csv.
+// Per-trial results are byte-identical for any --jobs value.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "congestion/dcqcn.hpp"
+#include "fabric/verbs.hpp"
+#include "hv/node.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace resex;
+using namespace resex::sim::literals;
+
+constexpr std::uint32_t kWriteBytes = 64 * 1024;
+constexpr sim::SimDuration kWarmup = 100_ms;
+constexpr sim::SimDuration kMeasure = 400_ms;
+
+struct Mode {
+  std::string name;
+  std::uint32_t buf_pkts = 0;   // 0 = infinite (lossless)
+  std::uint32_t ecn_kmin = 0;
+  std::uint32_t ecn_kmax = 0;
+  bool rate_control = false;
+};
+
+/// One guest with a verbs context and a single registered buffer (the bench
+/// cannot reuse the test fixture, so this mirrors its endpoint bundle).
+struct Endpoint {
+  hv::Domain* domain = nullptr;
+  std::unique_ptr<fabric::Verbs> verbs;
+  std::uint32_t pd = 0;
+  fabric::CompletionQueue* send_cq = nullptr;
+  fabric::CompletionQueue* recv_cq = nullptr;
+  fabric::QueuePair* qp = nullptr;
+  mem::GuestAddr buf = 0;
+  mem::RegisteredRegion mr;
+};
+
+Endpoint make_endpoint(hv::Node& node, fabric::Hca& hca,
+                       const std::string& name, std::size_t buf_bytes) {
+  Endpoint ep;
+  ep.domain = &node.create_domain({.name = name, .mem_pages = 2048});
+  ep.verbs = std::make_unique<fabric::Verbs>(hca, *ep.domain);
+  ep.pd = hca.alloc_pd(*ep.domain);
+  ep.send_cq = &hca.create_cq(*ep.domain, 1024);
+  ep.recv_cq = &hca.create_cq(*ep.domain, 1024);
+  ep.qp = &hca.create_qp(*ep.domain, ep.pd, *ep.send_cq, *ep.recv_cq);
+  ep.buf = ep.domain->allocator().allocate(buf_bytes, mem::kPageSize);
+  ep.mr = hca.reg_mr(ep.pd, *ep.domain, ep.buf, buf_bytes,
+                     mem::Access::kLocalWrite | mem::Access::kRemoteWrite |
+                         mem::Access::kRemoteRead);
+  return ep;
+}
+
+/// Closed-loop writer: 64KB RDMA writes back to back, per-write latency
+/// sampled from the send CQE (post -> completion, i.e. last byte ACKed).
+sim::Task sender_loop(sim::Simulation& sim, Endpoint& ep,
+                      mem::GuestAddr remote_addr, std::uint32_t rkey,
+                      sim::SimDuration start_jitter, sim::SimTime end,
+                      sim::Samples& latency_us) {
+  co_await sim.delay(start_jitter);
+  std::uint64_t wr_id = 0;
+  while (sim.now() < end) {
+    const sim::SimTime t0 = sim.now();
+    fabric::SendWr wr;
+    wr.wr_id = ++wr_id;
+    wr.opcode = fabric::Opcode::kRdmaWrite;
+    wr.local_addr = ep.buf;
+    wr.lkey = ep.mr.lkey;
+    wr.length = kWriteBytes;
+    wr.remote_addr = remote_addr;
+    wr.rkey = rkey;
+    co_await ep.verbs->post_send(*ep.qp, std::move(wr));
+    const fabric::Cqe cqe = co_await ep.verbs->next_cqe(*ep.send_cq);
+    if (cqe.status != 0) co_return;  // QP errored out (retry exhaustion)
+    if (sim.now() >= kWarmup) {
+      latency_us.add(static_cast<double>(sim.now() - t0) / 1e3);
+    }
+  }
+}
+
+std::vector<double> run_incast(std::uint32_t senders, const Mode& mode,
+                               std::uint64_t seed) {
+  sim::Simulation sim;
+  fabric::FabricConfig cfg;
+  cfg.port_buffer_pkts = mode.buf_pkts;
+  cfg.ecn_kmin_pkts = mode.ecn_kmin;
+  cfg.ecn_kmax_pkts = mode.ecn_kmax;
+  fabric::Fabric fabric(sim, cfg);
+
+  std::unique_ptr<congestion::RateController> rate_controller;
+  if (mode.rate_control) {
+    rate_controller = std::make_unique<congestion::RateController>(fabric);
+  }
+
+  // Node 0 receives; nodes 1..N send. All share the default switch, so the
+  // receiver's downlink is the N:1 port.
+  std::vector<std::unique_ptr<hv::Node>> nodes;
+  std::vector<fabric::Hca*> hcas;
+  for (std::uint32_t i = 0; i <= senders; ++i) {
+    nodes.push_back(std::make_unique<hv::Node>(
+        sim, i == 0 ? "recv" : "send" + std::to_string(i), 4));
+    hcas.push_back(&fabric.add_node(*nodes.back()));
+  }
+
+  // The receiver exposes one 64KB slot per sender in a single region.
+  Endpoint recv = make_endpoint(*nodes[0], *hcas[0], "recv_vm",
+                                std::uint64_t{senders} * kWriteBytes);
+  std::vector<Endpoint> send_eps;
+  std::vector<fabric::QueuePair*> recv_qps;
+  for (std::uint32_t i = 0; i < senders; ++i) {
+    send_eps.push_back(make_endpoint(*nodes[i + 1], *hcas[i + 1],
+                                     "send_vm" + std::to_string(i),
+                                     kWriteBytes));
+    recv_qps.push_back(&hcas[0]->create_qp(*recv.domain, recv.pd,
+                                           *recv.send_cq, *recv.recv_cq));
+    fabric::Fabric::connect(*send_eps.back().qp, *recv_qps.back());
+  }
+
+  // Jittered starts break the senders' phase lock (and give --seeds its
+  // replicate-to-replicate variation); the load itself is deterministic.
+  const sim::SimTime end = kWarmup + kMeasure;
+  std::vector<std::unique_ptr<sim::Samples>> latencies;
+  sim::Rng jitter(sim::derive(seed, 0x1ca5));
+  for (std::uint32_t i = 0; i < senders; ++i) {
+    latencies.push_back(std::make_unique<sim::Samples>());
+    const auto start = static_cast<sim::SimDuration>(jitter.uniform(
+        0.0, static_cast<double>(10_us)));
+    sim.spawn(sender_loop(sim, send_eps[i],
+                          recv.buf + std::uint64_t{i} * kWriteBytes,
+                          recv.mr.rkey, start, end, *latencies[i]));
+  }
+
+  // Goodput is measured over the post-warmup window only.
+  std::uint64_t bytes_at_warmup = 0;
+  sim.spawn([](sim::Simulation& s, fabric::Hca& hca,
+               std::uint64_t& out) -> sim::Task {
+    co_await s.delay(kWarmup);
+    out = hca.downlink().bytes_sent();
+  }(sim, *hcas[0], bytes_at_warmup));
+
+  sim.run_until(end + 50_ms);  // drain in-flight retransmissions
+
+  sim::Samples pooled;
+  for (const auto& s : latencies) {
+    for (const double v : s->values()) pooled.add(v);
+  }
+  const auto& down = hcas[0]->downlink();
+  const double goodput_mbps =
+      static_cast<double>(down.bytes_sent() - bytes_at_warmup) /
+      sim::to_sec(kMeasure + 50_ms) / 1e6;
+  return {static_cast<double>(pooled.count()),
+          pooled.median(),
+          pooled.percentile(99.0),
+          static_cast<double>(down.buf_drops()),
+          static_cast<double>(down.ecn_marks()),
+          static_cast<double>(
+              sim.metrics().counter("fabric.retransmits").value()),
+          goodput_mbps};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace resex::bench;
+
+  const auto opts = parse_cli(argc, argv);
+
+  // Headline comparison: same 64-packet port buffer for both lossy modes,
+  // marking from 16 packets, hard-mark at 48. --buf-pkts/--ecn-kmin/
+  // --ecn-kmax override the lossy rows.
+  const std::uint32_t buf = opts.buf_pkts > 0 ? opts.buf_pkts : 64;
+  const std::uint32_t kmin = opts.ecn_kmax > 0 ? opts.ecn_kmin : buf / 4;
+  const std::uint32_t kmax = opts.ecn_kmax > 0 ? opts.ecn_kmax : (buf * 3) / 4;
+  const std::vector<Mode> modes = {
+      {.name = "lossless"},
+      {.name = "taildrop", .buf_pkts = buf},
+      {.name = "ecn+dcqcn",
+       .buf_pkts = buf,
+       .ecn_kmin = kmin,
+       .ecn_kmax = kmax,
+       .rate_control = true},
+  };
+
+  std::vector<resex::runner::GenericPoint> points;
+  for (const std::uint32_t senders : {4u, 8u, 16u}) {
+    for (const Mode& mode : modes) {
+      resex::runner::GenericPoint p;
+      p.label = mode.name + " " + std::to_string(senders) + ":1";
+      p.params = {{"mode", mode.name},
+                  {"senders", std::to_string(senders)},
+                  {"buf_pkts", std::to_string(mode.buf_pkts)}};
+      p.run = [senders, mode](std::uint64_t seed) {
+        return run_incast(senders, mode, seed);
+      };
+      points.push_back(std::move(p));
+    }
+  }
+
+  const int rc = run_generic_bench(
+      opts, "Incast: finite buffers, ECN and DCQCN rate control",
+      "N closed-loop senders RDMA-write 64KB blocks to one receiver through "
+      "one switch;\nthe receiver downlink port is the N:1 bottleneck "
+      "(buf=" + std::to_string(buf) + " pkts, Kmin=" + std::to_string(kmin) +
+          ", Kmax=" + std::to_string(kmax) + ").",
+      std::move(points),
+      {"reqs", "p50_us", "p99_us", "drops", "marks", "retx", "goodput_MBps"});
+
+  std::cout << "\nWith tail-drop alone every overflow costs a NAK/RTO round "
+               "and the p99\ncollapses; ECN marks ahead of the cliff and "
+               "DCQCN throttles senders at\nthe source, holding the same "
+               "goodput with (near-)zero drops.\n";
+  return rc;
+}

@@ -1,5 +1,8 @@
 #include "cluster/broker.hpp"
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "obs/trace.hpp"
 
 namespace resex::cluster {
@@ -28,9 +31,49 @@ sim::Task ClusterBroker::run() {
   }
 }
 
+double ClusterBroker::port_congestion(const fabric::Channel& ch,
+                                      std::uint64_t d_pkts,
+                                      std::uint64_t d_marks,
+                                      std::uint64_t d_drops) {
+  // Dropped packets never count as sent, so the offered load this period is
+  // sent + dropped; marks are a subset of sent.
+  const double offered = static_cast<double>(d_pkts + d_drops);
+  const double loss_frac =
+      offered <= 0.0 ? 0.0
+                     : static_cast<double>(d_marks + d_drops) / offered;
+  const std::uint32_t cap = ch.config().port_buffer_pkts;
+  const double occ_frac =
+      cap == 0 ? 0.0
+               : static_cast<double>(ch.backlog_packets()) / cap;
+  return std::min(1.0, std::max(loss_frac, occ_frac));
+}
+
 void ClusterBroker::post_quotes() {
   auto& sim = cluster_->sim();
   const auto period = static_cast<double>(config_.period);
+
+  // One pass over the trunks: per-switch congestion is the worst adjacent
+  // trunk's price this period (enumeration order is creation order, and the
+  // per-trunk snapshots are indexed the same way — deterministic).
+  std::unordered_map<std::uint32_t, double> switch_congestion;
+  std::size_t trunk_idx = 0;
+  cluster_->fabric().for_each_trunk([&](std::uint32_t from, std::uint32_t to,
+                                        fabric::Channel& ch) {
+    if (trunk_idx >= trunk_prev_.size()) trunk_prev_.resize(trunk_idx + 1);
+    TrunkSnapshot& prev = trunk_prev_[trunk_idx++];
+    const std::uint64_t pkts = ch.packets_sent();
+    const std::uint64_t marks = ch.ecn_marks();
+    const std::uint64_t drops = ch.buf_drops();
+    const double price = port_congestion(ch, pkts - prev.pkts,
+                                         marks - prev.marks,
+                                         drops - prev.drops);
+    prev = TrunkSnapshot{pkts, marks, drops};
+    for (const std::uint32_t sw : {from, to}) {
+      auto [it, inserted] = switch_congestion.try_emplace(sw, price);
+      if (!inserted) it->second = std::max(it->second, price);
+    }
+  });
+
   for (std::uint32_t i = 0; i < cluster_->node_count(); ++i) {
     auto& hca = cluster_->hca(i);
     auto& node = cluster_->node(i);
@@ -39,7 +82,20 @@ void ClusterBroker::post_quotes() {
     const double io = static_cast<double>(
                           std::max(up - prev_[i].up, down - prev_[i].down)) /
                       period;
-    prev_[i] = PortSnapshot{up, down};
+    // Node congestion: the worse of its leaf's trunks and its own downlink
+    // port (incast pain shows up at the downlink even on a star fabric).
+    const std::uint64_t dpkts = hca.downlink().packets_sent();
+    const std::uint64_t dmarks = hca.downlink().ecn_marks();
+    const std::uint64_t ddrops = hca.downlink().buf_drops();
+    double congestion = port_congestion(hca.downlink(),
+                                        dpkts - prev_[i].down_pkts,
+                                        dmarks - prev_[i].down_marks,
+                                        ddrops - prev_[i].down_drops);
+    if (const auto it = switch_congestion.find(cluster_->switch_of_node(i));
+        it != switch_congestion.end()) {
+      congestion = std::max(congestion, it->second);
+    }
+    prev_[i] = PortSnapshot{up, down, dpkts, dmarks, ddrops};
     const std::uint32_t pcpus = node.scheduler().pcpu_count();
     const std::uint32_t free = node.free_pcpu_count();
     core::NodePriceQuote q;
@@ -47,6 +103,7 @@ void ClusterBroker::post_quotes() {
     q.io_price = io;
     q.cpu_price =
         pcpus == 0 ? 0.0 : static_cast<double>(pcpus - free) / pcpus;
+    q.congestion_price = congestion;
     q.free_pcpus = free;
     q.posted_at = sim.now();
     exchange_->post(q);

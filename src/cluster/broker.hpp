@@ -68,11 +68,27 @@ class ClusterBroker {
   struct PortSnapshot {
     sim::SimDuration up = 0;
     sim::SimDuration down = 0;
+    // Downlink congestion counters at the last quote (delta = this period).
+    std::uint64_t down_pkts = 0;
+    std::uint64_t down_marks = 0;
+    std::uint64_t down_drops = 0;
+  };
+  struct TrunkSnapshot {
+    std::uint64_t pkts = 0;
+    std::uint64_t marks = 0;
+    std::uint64_t drops = 0;
   };
 
   [[nodiscard]] sim::Task run();
   void post_quotes();
   void decide();
+  /// Congestion price of one port over the period: mark+drop fraction of
+  /// offered packets, or current buffer occupancy fraction, whichever is
+  /// worse, clamped to [0, 1].
+  [[nodiscard]] static double port_congestion(const fabric::Channel& ch,
+                                              std::uint64_t d_pkts,
+                                              std::uint64_t d_marks,
+                                              std::uint64_t d_drops);
 
   Cluster* cluster_;
   core::ClusterExchange* exchange_;
@@ -80,6 +96,7 @@ class ClusterBroker {
   BrokerConfig config_;
   std::vector<Managed> services_;  // registration order (deterministic scan)
   std::vector<PortSnapshot> prev_;
+  std::vector<TrunkSnapshot> trunk_prev_;  // enumeration order (deterministic)
   std::uint32_t requested_ = 0;
   bool started_ = false;
 };

@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "congestion/dcqcn.hpp"
 #include "core/testbed.hpp"
 #include "fault/fault.hpp"
 #include "obs/trace.hpp"
@@ -86,8 +87,16 @@ ClusterScenarioResult run_cluster_scenario(
   ccfg.leaf_width = config.leaf_width;
   ccfg.spines = config.spines;
   ccfg.trunk_bandwidth_scale = config.trunk_bandwidth_scale;
+  config.congestion.apply(ccfg.fabric);
   Cluster cluster(ccfg);
   if (!config.trace_path.empty()) cluster.sim().tracer().enable();
+
+  // --- DCQCN rate control (resex::congestion), if enabled --------------------
+  std::unique_ptr<congestion::RateController> rate_controller;
+  if (config.congestion.rate_control && config.congestion.ecn_kmax > 0) {
+    rate_controller = std::make_unique<congestion::RateController>(
+        cluster.fabric(), config.congestion.dcqcn);
+  }
 
   // --- fault injection -------------------------------------------------------
   const fault::FaultPlan fault_plan = fault::FaultPlan::parse(config.faults);

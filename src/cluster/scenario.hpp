@@ -23,6 +23,7 @@
 
 #include "cluster/broker.hpp"
 #include "cluster/migration.hpp"
+#include "congestion/config.hpp"
 #include "cluster/service.hpp"
 #include "cluster/topology.hpp"
 #include "obs/metrics.hpp"
@@ -59,6 +60,9 @@ struct ClusterScenarioConfig {
 
   /// Fault-plan spec (fault::FaultPlan::parse); empty = none.
   std::string faults;
+
+  /// Switch congestion (resex::congestion); defaults off = lossless fabric.
+  congestion::CongestionConfig congestion{};
 
   sim::SimDuration warmup = 100 * sim::kMillisecond;
   sim::SimDuration duration = sim::kSecond;

@@ -1,0 +1,68 @@
+#pragma once
+// Knob bundle for resex::congestion: finite switch buffers + ECN marking
+// (enforced inside the fabric, see FabricConfig) and the DCQCN-style rate
+// controller's own parameters. Scenario configs embed a CongestionConfig so
+// the runner's --buf-pkts/--ecn-kmin/--ecn-kmax flags plumb through every
+// experiment uniformly; everything defaults off, which reproduces the
+// historical lossless fabric byte-for-byte.
+
+#include <cstdint>
+
+#include "fabric/types.hpp"
+#include "sim/time.hpp"
+
+namespace resex::congestion {
+
+/// DCQCN-flavoured rate-control parameters (Zhu et al., SIGCOMM'15 notation
+/// in comments). Defaults are scaled to the simulated 1 GiB/s host ports.
+struct DcqcnConfig {
+  /// Destination-side CNP pacing: at most one CNP per flow per interval,
+  /// regardless of how many marked packets arrive (DCQCN's 50 us timer).
+  sim::SimDuration cnp_interval = 50 * sim::kMicrosecond;
+  /// EWMA gain g for the congestion estimate alpha.
+  double alpha_g = 1.0 / 16.0;
+  /// Period of the alpha decay timer (no-CNP periods reduce alpha).
+  sim::SimDuration alpha_timer = 55 * sim::kMicrosecond;
+  /// Period of the rate-increase timer (fast recovery / AI / HI stages).
+  sim::SimDuration increase_period = 55 * sim::kMicrosecond;
+  /// Rounds of pure fast recovery (RC converges towards RT) before additive
+  /// increase starts raising the target rate.
+  std::uint32_t fast_recovery_rounds = 5;
+  /// Additive-increase step R_AI, bytes/second.
+  double additive_increase = 5.0 * 1024 * 1024;
+  /// Hyper-increase step R_HAI, bytes/second, after `hyper_after` further
+  /// CNP-free rounds.
+  double hyper_increase = 50.0 * 1024 * 1024;
+  std::uint32_t hyper_after = 10;
+  /// Rate floor: a flow is never cut below this, bytes/second.
+  double min_rate = 1.0 * 1024 * 1024;
+  /// Once the current rate recovers to this fraction of line rate the cap is
+  /// removed entirely (deviation from DCQCN, which keeps the limiter forever:
+  /// removing it restores the exact uncongested arbitration fast path).
+  double uncap_fraction = 0.99;
+};
+
+/// Everything a scenario needs to turn congestion on: fabric-side buffering
+/// and marking plus the optional end-to-end controller.
+struct CongestionConfig {
+  /// Switch egress buffer capacity, packets (0 = infinite, lossless).
+  std::uint32_t buffer_pkts = 0;
+  /// ECN thresholds, packets (kmax 0 disables marking; else 1<=kmin<=kmax).
+  std::uint32_t ecn_kmin = 0;
+  std::uint32_t ecn_kmax = 0;
+  /// Run the DCQCN-style RateController on top of ECN marks.
+  bool rate_control = false;
+  DcqcnConfig dcqcn{};
+
+  [[nodiscard]] bool any() const noexcept {
+    return buffer_pkts > 0 || ecn_kmax > 0;
+  }
+  /// Copy the fabric-enforced knobs into a fabric config.
+  void apply(fabric::FabricConfig& fabric) const noexcept {
+    fabric.port_buffer_pkts = buffer_pkts;
+    fabric.ecn_kmin_pkts = ecn_kmin;
+    fabric.ecn_kmax_pkts = ecn_kmax;
+  }
+};
+
+}  // namespace resex::congestion

@@ -1,0 +1,136 @@
+#include "congestion/dcqcn.hpp"
+
+#include <algorithm>
+
+#include "fabric/queue_pair.hpp"
+
+namespace resex::congestion {
+
+RateController::RateController(fabric::Fabric& fabric, DcqcnConfig config)
+    : fabric_(fabric), sim_(fabric.simulation()), cfg_(config) {
+  auto& metrics = sim_.metrics();
+  cnps_metric_ = &metrics.counter("congestion.cnps");
+  rate_cuts_metric_ = &metrics.counter("congestion.rate_cuts");
+  fabric_.set_congestion_hook(this);
+}
+
+RateController::~RateController() {
+  if (fabric_.congestion_hook() == this) fabric_.set_congestion_hook(nullptr);
+}
+
+double RateController::current_rate(fabric::QpNum qp) const noexcept {
+  const auto it = flows_.find(qp);
+  if (it == flows_.end() || !it->second.capped) return 0.0;
+  return it->second.rc;
+}
+
+double RateController::line_rate(const Flow& f) const noexcept {
+  // The sender's host-port rate: the natural ceiling for its flow.
+  return f.qp->hca().uplink().config().link_bytes_per_sec;
+}
+
+RateController::Flow& RateController::flow_for(fabric::QueuePair& qp) {
+  auto [it, inserted] = flows_.try_emplace(qp.num());
+  if (inserted) it->second.qp = &qp;
+  return it->second;
+}
+
+void RateController::on_marked_arrival(fabric::QueuePair& src_qp) {
+  Flow& f = flow_for(src_qp);
+  const sim::SimTime now = sim_.now();
+  // Destination-side CNP pacing: one CNP per flow per interval, however many
+  // marked packets arrive in between.
+  if (f.cnp_seen && now - f.last_cnp < cfg_.cnp_interval) return;
+  f.cnp_seen = true;
+  f.last_cnp = now;
+  ++cnps_;
+  cnps_metric_->add();
+  RESEX_TRACE_INSTANT(sim_.tracer(), "congestion.cnp", "congestion",
+                      {"qp", static_cast<double>(src_qp.num())});
+  // The CNP travels the reverse path; model it as the fabric's ack delay.
+  sim_.schedule_in(fabric_.config().ack_delay,
+                   [this, qp = src_qp.num()] { on_cnp(qp); });
+}
+
+void RateController::on_cnp(fabric::QpNum qp) {
+  const auto it = flows_.find(qp);
+  if (it == flows_.end()) return;
+  Flow& f = it->second;
+  if (!f.capped) {
+    f.capped = true;
+    f.rc = line_rate(f);
+    f.alpha = 1.0;
+  }
+  // Multiplicative decrease: remember the pre-cut rate as the recovery
+  // target, bump the congestion estimate, cut.
+  f.rt = f.rc;
+  f.alpha = (1.0 - cfg_.alpha_g) * f.alpha + cfg_.alpha_g;
+  f.rc = std::max(cfg_.min_rate, f.rc * (1.0 - f.alpha / 2.0));
+  f.increase_rounds = 0;
+  f.last_cut = sim_.now();
+  ++rate_cuts_;
+  rate_cuts_metric_->add();
+  RESEX_TRACE_INSTANT(sim_.tracer(), "congestion.rate_cut", "congestion",
+                      {"qp", static_cast<double>(qp)}, {"rate", f.rc});
+  apply(f);
+  arm_timers(f);
+}
+
+void RateController::alpha_tick(Flow& f) {
+  if (!f.capped) return;
+  // A full timer period without a cut means the path stayed mark-free long
+  // enough: decay the congestion estimate.
+  if (sim_.now() - f.last_cut >= cfg_.alpha_timer) {
+    f.alpha *= 1.0 - cfg_.alpha_g;
+  }
+  f.alpha_tick = sim_.schedule_in(cfg_.alpha_timer,
+                                  [this, &f] { alpha_tick(f); });
+}
+
+void RateController::increase_tick(Flow& f) {
+  if (!f.capped) return;
+  ++f.increase_rounds;
+  if (f.increase_rounds > cfg_.fast_recovery_rounds) {
+    const double step =
+        f.increase_rounds > cfg_.fast_recovery_rounds + cfg_.hyper_after
+            ? cfg_.hyper_increase
+            : cfg_.additive_increase;
+    f.rt = std::min(line_rate(f), f.rt + step);
+  }
+  f.rc = 0.5 * (f.rc + f.rt);
+  if (f.rc >= cfg_.uncap_fraction * line_rate(f)) {
+    uncap(f);
+    return;
+  }
+  apply(f);
+  f.increase_tick = sim_.schedule_in(cfg_.increase_period,
+                                     [this, &f] { increase_tick(f); });
+}
+
+void RateController::apply(Flow& f) {
+  f.qp->hca().uplink().set_flow_rate_limit(f.qp->num(), f.rc);
+}
+
+void RateController::arm_timers(Flow& f) {
+  f.alpha_tick.cancel();
+  f.alpha_tick = sim_.schedule_in(cfg_.alpha_timer,
+                                  [this, &f] { alpha_tick(f); });
+  f.increase_tick.cancel();
+  f.increase_tick = sim_.schedule_in(cfg_.increase_period,
+                                     [this, &f] { increase_tick(f); });
+}
+
+void RateController::uncap(Flow& f) {
+  // Fully recovered: remove the limiter so arbitration returns to the exact
+  // uncongested fast path, and reset the episode state.
+  f.capped = false;
+  f.alpha = 1.0;
+  f.increase_rounds = 0;
+  f.alpha_tick.cancel();
+  f.increase_tick.cancel();
+  f.qp->hca().uplink().set_flow_rate_limit(f.qp->num(), 0.0);
+  RESEX_TRACE_INSTANT(sim_.tracer(), "congestion.uncap", "congestion",
+                      {"qp", static_cast<double>(f.qp->num())});
+}
+
+}  // namespace resex::congestion

@@ -25,12 +25,14 @@ const NodePriceQuote* ClusterExchange::quote(std::uint32_t node_id) const {
 const NodePriceQuote* ClusterExchange::cheapest(std::uint32_t min_free_pcpus,
                                                 std::uint32_t exclude,
                                                 double io_weight,
-                                                double cpu_weight) const {
+                                                double cpu_weight,
+                                                double congestion_weight) const {
   const NodePriceQuote* best = nullptr;
   for (const auto& q : book_) {  // ascending node_id: ties keep the first
     if (q.node_id == exclude || q.free_pcpus < min_free_pcpus) continue;
-    if (best == nullptr || blended(q, io_weight, cpu_weight) <
-                               blended(*best, io_weight, cpu_weight)) {
+    if (best == nullptr ||
+        blended(q, io_weight, cpu_weight, congestion_weight) <
+            blended(*best, io_weight, cpu_weight, congestion_weight)) {
       best = &q;
     }
   }

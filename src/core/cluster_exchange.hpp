@@ -23,6 +23,12 @@ struct NodePriceQuote {
   double io_price = 0.0;
   /// PCPU occupancy fraction in [0, 1] (pinned VCPUs / PCPUs).
   double cpu_price = 0.0;
+  /// Fabric congestion on the node's path in [0, 1]: worst of the trunks
+  /// adjacent to its leaf switch and its own downlink port, each priced by
+  /// ECN-mark/tail-drop fraction and buffer occupancy over the quote period.
+  /// 0 on a lossless fabric (congestion subsystem disabled), so quotes and
+  /// placement decisions are unchanged unless congestion is configured.
+  double congestion_price = 0.0;
   /// PCPUs with no pinned VCPU — placement capacity.
   std::uint32_t free_pcpus = 0;
   sim::SimTime posted_at = 0;
@@ -38,10 +44,14 @@ class ClusterExchange {
 
   /// Blended price of a quote: io-dominant by default, matching the paper's
   /// finding that the fabric port — not CPU — is where interference lives.
+  /// Congestion is weighted between the two: a congested trunk hurts a
+  /// latency-sensitive tenant almost as much as a saturated host port.
   [[nodiscard]] static double blended(const NodePriceQuote& q,
                                       double io_weight = 1.0,
-                                      double cpu_weight = 0.25) {
-    return io_weight * q.io_price + cpu_weight * q.cpu_price;
+                                      double cpu_weight = 0.25,
+                                      double congestion_weight = 0.75) {
+    return io_weight * q.io_price + cpu_weight * q.cpu_price +
+           congestion_weight * q.congestion_price;
   }
 
   /// Cheapest node (by blended price) that has at least `min_free_pcpus`
@@ -49,7 +59,8 @@ class ClusterExchange {
   /// the answer is deterministic. Returns nullptr when no node qualifies.
   [[nodiscard]] const NodePriceQuote* cheapest(
       std::uint32_t min_free_pcpus, std::uint32_t exclude,
-      double io_weight = 1.0, double cpu_weight = 0.25) const;
+      double io_weight = 1.0, double cpu_weight = 0.25,
+      double congestion_weight = 0.75) const;
 
   [[nodiscard]] const std::vector<NodePriceQuote>& book() const noexcept {
     return book_;

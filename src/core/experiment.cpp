@@ -3,6 +3,7 @@
 #include <iostream>
 #include <memory>
 
+#include "congestion/dcqcn.hpp"
 #include "fault/fault.hpp"
 #include "sim/rng.hpp"
 #include "sim/task.hpp"
@@ -78,9 +79,17 @@ double measure_base_total_us(ScenarioConfig config) {
 ScenarioResult run_scenario(const ScenarioConfig& config) {
   TestbedConfig tb_cfg;
   tb_cfg.scheduler.subwindows = config.sched_subwindows;
+  config.congestion.apply(tb_cfg.fabric);
   Testbed tb(tb_cfg);
   ScenarioResult result;
   if (!config.trace_path.empty()) tb.sim().tracer().enable();
+
+  // --- DCQCN rate control (resex::congestion), if enabled --------------------
+  std::unique_ptr<congestion::RateController> rate_controller;
+  if (config.congestion.rate_control && config.congestion.ecn_kmax > 0) {
+    rate_controller = std::make_unique<congestion::RateController>(
+        tb.fabric(), config.congestion.dcqcn);
+  }
 
   // --- fault injection (resex::fault), if a plan is given --------------------
   const fault::FaultPlan fault_plan = fault::FaultPlan::parse(config.faults);

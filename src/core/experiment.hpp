@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "congestion/config.hpp"
 #include "core/controller.hpp"
 #include "core/testbed.hpp"
 #include "obs/metrics.hpp"
@@ -75,6 +76,12 @@ struct ScenarioConfig {
   /// the fabric then runs the seed's unreliable-but-lossless datapath and
   /// produces byte-identical results to builds without resex::fault.
   std::string faults;
+
+  // Switch congestion (resex::congestion). Defaults off: infinite buffers,
+  // no marking, byte-identical to the historical lossless fabric. The
+  // baseline probe keeps these settings — finite buffers are the fabric's
+  // physics, not a fault.
+  congestion::CongestionConfig congestion{};
 
   // Run control.
   sim::SimDuration warmup = 100 * sim::kMillisecond;

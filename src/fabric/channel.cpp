@@ -33,6 +33,23 @@ Channel::Channel(sim::Simulation& sim, const FabricConfig& config,
   });
 }
 
+void Channel::configure_switch_port() {
+  switch_port_ = true;
+  if (!config_.congestion_enabled()) return;
+  ecn_marker_ = EcnMarker(config_.ecn_kmin_pkts, config_.ecn_kmax_pkts);
+  // Fabric-wide aggregates plus per-port gauges, registered only when
+  // congestion is configured so default runs export an unchanged metric set.
+  auto& metrics = sim_.metrics();
+  buf_drops_total_ = &metrics.counter("fabric.buf_drops");
+  ecn_marks_total_ = &metrics.counter("fabric.ecn_marks");
+  occupancy_hist_ = &metrics.histogram("fabric.port_occupancy_pkts");
+  const std::string prefix = "fabric." + name_;
+  metrics.gauge_fn(prefix + ".buf_drops",
+                   [this] { return static_cast<double>(buf_drops_); });
+  metrics.gauge_fn(prefix + ".ecn_marks",
+                   [this] { return static_cast<double>(ecn_marks_); });
+}
+
 Channel::Flow& Channel::flow_for(QpNum qp) {
   for (auto& f : flows_) {
     if (f.qp == qp) return f;
@@ -61,9 +78,24 @@ void Channel::set_flow_rate_limit(QpNum qp, double bytes_per_sec,
     throw std::invalid_argument("Channel: negative rate limit");
   }
   Flow& f = flow_for(qp);
+  const bool was_limited = f.rate_bytes_per_sec > 0.0;
+  if (was_limited) {
+    // Settle the bucket at the old rate before switching: a controller that
+    // adjusts the rate every few tens of microseconds (DCQCN recovery) must
+    // not gift the flow a full burst of tokens per update.
+    f.tokens = std::min(f.tokens + f.rate_bytes_per_sec *
+                                       static_cast<double>(sim_.now() -
+                                                           f.tokens_updated) /
+                                       1e9,
+                        f.bucket_cap);
+  }
   f.rate_bytes_per_sec = bytes_per_sec;
   f.bucket_cap = static_cast<double>(config_.mtu_bytes) + burst_bytes;
-  f.tokens = f.bucket_cap;
+  if (was_limited) {
+    f.tokens = std::min(f.tokens, f.bucket_cap);
+  } else {
+    f.tokens = f.bucket_cap;  // newly limited flows start with a full burst
+  }
   f.tokens_updated = sim_.now();
   if (!busy_) try_start();
 }
@@ -97,6 +129,45 @@ sim::SimTime Channel::eligible_at(const Flow& f) const {
 void Channel::enqueue(detail::Packet pkt) {
   if (!sink_) {
     throw std::logic_error("Channel '" + name_ + "': no sink connected");
+  }
+  if (switch_port_ && (config_.congestion_enabled() || fault_hook_ != nullptr)) {
+    // Finite egress buffer: the packet currently serializing occupies the
+    // wire, not the buffer, so capacity is checked against the backlog only.
+    // A fault-injected buffer squeeze (shared-buffer pressure from outside
+    // the simulated world) overrides the configured capacity.
+    const std::uint64_t occupancy = backlog_packets();
+    std::uint32_t capacity = config_.port_buffer_pkts;
+    if (fault_hook_ != nullptr) {
+      if (const std::uint32_t squeeze = fault_hook_->buffer_limit(*this);
+          squeeze > 0) {
+        capacity = squeeze;
+      }
+    }
+    if (capacity > 0 && occupancy >= capacity) {
+      ++buf_drops_;
+      if (buf_drops_total_ != nullptr) buf_drops_total_->add();
+      if (sim_.tracer().enabled()) {
+        sim_.tracer().instant(
+            "fabric.buf_drop", "congestion",
+            {"qp", static_cast<double>(pkt.transfer->src_qp->num())},
+            {"occ", static_cast<double>(occupancy)});
+      }
+      return;  // tail-drop: the RC machinery recovers via NAK/RTO
+    }
+    if (occupancy_hist_ != nullptr) {
+      occupancy_hist_->observe(occupancy);
+    }
+    if (!pkt.ecn && ecn_marker_.on_enqueue(occupancy)) {
+      pkt.ecn = true;
+      ++ecn_marks_;
+      if (ecn_marks_total_ != nullptr) ecn_marks_total_->add();
+      if (sim_.tracer().enabled()) {
+        sim_.tracer().instant(
+            "fabric.ecn_mark", "congestion",
+            {"qp", static_cast<double>(pkt.transfer->src_qp->num())},
+            {"occ", static_cast<double>(occupancy)});
+      }
+    }
   }
   if (sim_.tracer().enabled()) {
     sim_.tracer().instant(

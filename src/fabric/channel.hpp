@@ -20,6 +20,37 @@
 
 namespace resex::fabric {
 
+/// Deterministic RED-style ECN marking decision for one switch port. No RNG:
+/// a fractional accumulator realizes the linear marking ramp exactly — below
+/// kmin nothing is ever marked, at or above kmax everything is, in between a
+/// packet seeing occupancy q is marked at rate (q - kmin + 1)/(kmax - kmin + 1)
+/// via accumulator carry. Deterministic by construction, so congested runs
+/// stay byte-identical at any --jobs.
+class EcnMarker {
+ public:
+  EcnMarker(std::uint32_t kmin_pkts, std::uint32_t kmax_pkts) noexcept
+      : kmin_(kmin_pkts), kmax_(kmax_pkts) {}
+
+  /// Decide for one packet that finds `occupancy` packets queued ahead of it.
+  [[nodiscard]] bool on_enqueue(std::uint64_t occupancy) noexcept {
+    if (kmax_ == 0) return false;
+    if (occupancy >= kmax_) return true;
+    if (occupancy < kmin_) return false;
+    accum_ += static_cast<double>(occupancy - kmin_ + 1) /
+              static_cast<double>(kmax_ - kmin_ + 1);
+    if (accum_ >= 1.0) {
+      accum_ -= 1.0;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::uint32_t kmin_;
+  std::uint32_t kmax_;
+  double accum_ = 0.0;
+};
+
 class Channel {
  public:
   Channel(sim::Simulation& sim, const FabricConfig& config, std::string name);
@@ -75,6 +106,22 @@ class Channel {
     return packets_corrupted_;
   }
 
+  // --- switch congestion (resex::congestion) -------------------------------
+
+  /// Mark this channel as a switch egress port: finite buffering
+  /// (config.port_buffer_pkts) and ECN marking (ecn_kmin/kmax_pkts) apply
+  /// here. Called by the Fabric for host downlinks and trunks — a host
+  /// uplink is the sender's own transmit queue and is never a switch port.
+  /// Registers the congestion gauges lazily, only when congestion is actually
+  /// configured, so default runs export exactly the metrics they always did.
+  void configure_switch_port();
+  [[nodiscard]] bool switch_port() const noexcept { return switch_port_; }
+  /// Packets tail-dropped at enqueue because the port buffer was full.
+  [[nodiscard]] std::uint64_t buf_drops() const noexcept { return buf_drops_; }
+  /// Packets ECN-marked at this port.
+  [[nodiscard]] std::uint64_t ecn_marks() const noexcept { return ecn_marks_; }
+  [[nodiscard]] const FabricConfig& config() const noexcept { return config_; }
+
  private:
   struct Flow {
     QpNum qp = 0;
@@ -112,6 +159,16 @@ class Channel {
   FaultHook* fault_hook_ = nullptr;
   std::uint64_t packets_dropped_ = 0;
   std::uint64_t packets_corrupted_ = 0;
+
+  // Switch-port congestion state (inert unless configure_switch_port ran
+  // with congestion configured — the enqueue fast path only tests a bool).
+  bool switch_port_ = false;
+  EcnMarker ecn_marker_{0, 0};
+  std::uint64_t buf_drops_ = 0;
+  std::uint64_t ecn_marks_ = 0;
+  obs::Counter* buf_drops_total_ = nullptr;   // fabric-wide aggregate
+  obs::Counter* ecn_marks_total_ = nullptr;   // fabric-wide aggregate
+  obs::Histogram* occupancy_hist_ = nullptr;  // fabric-wide, pkts at enqueue
 };
 
 }  // namespace resex::fabric

@@ -1,0 +1,28 @@
+#pragma once
+// Seam between the fabric and resex::congestion, mirroring FaultHook: the
+// destination HCA notifies an abstract CongestionHook (if one is installed)
+// whenever an ECN-marked data packet arrives, and the hook — implemented in
+// src/congestion — reacts by pacing CNPs back to the sender and throttling
+// the offending QP. Keeping the interface here means the fabric never
+// depends on the congestion subsystem, and a fabric without a hook (and
+// without finite buffers / ECN thresholds configured) behaves byte-identically
+// to the lossless model.
+
+namespace resex::fabric {
+
+class QueuePair;
+
+/// Installed on a Fabric via `set_congestion_hook`; invoked by the receiving
+/// HCA once per ECN-marked, uncorrupted packet arrival. Implementations must
+/// be deterministic functions of (sim time, QP, own state) — no RNG.
+class CongestionHook {
+ public:
+  virtual ~CongestionHook() = default;
+  /// An ECN-marked packet of `src_qp`'s flow reached its destination HCA.
+  /// Called at arrival time, before reassembly bookkeeping; the hook decides
+  /// whether this mark warrants a CNP (it paces per-flow) and how hard to
+  /// cut the sender's rate.
+  virtual void on_marked_arrival(QueuePair& src_qp) = 0;
+};
+
+}  // namespace resex::fabric

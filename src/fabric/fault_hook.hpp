@@ -30,6 +30,16 @@ class FaultHook {
   virtual ~FaultHook() = default;
   [[nodiscard]] virtual PacketFate on_transmit(const Channel& channel,
                                                const detail::Packet& pkt) = 0;
+  /// Buffer-squeeze fault: the effective egress buffer capacity (packets) a
+  /// switch-port channel must enforce right now, or 0 for no override. A
+  /// non-zero override wins over the configured `port_buffer_pkts` — it
+  /// models transient switch congestion (shared-buffer pressure from ports
+  /// outside the simulated world) as an injectable fault. Consulted at
+  /// enqueue time, switch ports only.
+  [[nodiscard]] virtual std::uint32_t buffer_limit(const Channel& channel) {
+    (void)channel;
+    return 0;
+  }
 };
 
 }  // namespace resex::fabric

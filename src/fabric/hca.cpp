@@ -20,6 +20,9 @@ Hca::Hca(Fabric& fabric, hv::Node& node, std::uint32_t hca_id)
   uplink_->set_sink(
       [this](detail::Packet p) { fabric_->route_from(*this, std::move(p)); });
   downlink_->set_sink([this](detail::Packet p) { on_packet(std::move(p)); });
+  // The downlink is a switch egress port (finite buffer + ECN apply there);
+  // the uplink is this HCA's own transmit queue and never drops.
+  downlink_->configure_switch_port();
   // Fabric-wide aggregates (same entries for every HCA on this simulation),
   // resolved once so the data path only touches raw counters.
   auto& metrics = sim.metrics();
@@ -327,6 +330,12 @@ void Hca::flush_send(QueuePair& qp, const SendWr& wr) {
 }
 
 void Hca::on_packet(detail::Packet pkt) {
+  // ECN feedback: a marked, uncorrupted data arrival is DCQCN's CNP trigger.
+  // Notified before reassembly bookkeeping so even duplicates of marked
+  // packets count — the mark reports the state of the path, not the payload.
+  if (pkt.ecn && !pkt.corrupted && fabric_->congestion_hook() != nullptr) {
+    fabric_->congestion_hook()->on_marked_arrival(*pkt.transfer->src_qp);
+  }
   if (fabric_->reliable()) {
     detail::Transfer& rt = *pkt.transfer;
     // Late arrivals for an already-completed (or errored-out) transfer and
@@ -544,6 +553,12 @@ Fabric::Fabric(sim::Simulation& sim, FabricConfig config)
   if (config_.mtu_bytes == 0 || config_.link_bytes_per_sec <= 0.0) {
     throw std::invalid_argument("Fabric: bad config");
   }
+  if (config_.ecn_kmax_pkts > 0 &&
+      (config_.ecn_kmin_pkts == 0 ||
+       config_.ecn_kmin_pkts > config_.ecn_kmax_pkts)) {
+    throw std::invalid_argument(
+        "Fabric: ECN thresholds require 1 <= kmin <= kmax");
+  }
   switch_hops_ = &sim_.metrics().counter("fabric.switch_hops");
 }
 
@@ -581,7 +596,10 @@ void Fabric::add_trunk(std::uint32_t a, std::uint32_t b,
         "sw" + std::to_string(from) + "->sw" + std::to_string(to));
     t->channel->set_sink(
         [this, to](detail::Packet p) { hop(to, std::move(p)); });
+    t->channel->configure_switch_port();
     if (fault_hook_ != nullptr) t->channel->set_fault_hook(fault_hook_);
+    t->from = from;
+    t->to = to;
     trunk_by_pair_.emplace(pair_key(from, to), t->channel.get());
     trunks_.push_back(std::move(t));
   }
@@ -598,6 +616,11 @@ void Fabric::set_route(std::uint32_t at, std::uint32_t dst,
 Channel* Fabric::trunk(std::uint32_t a, std::uint32_t b) noexcept {
   const auto it = trunk_by_pair_.find(pair_key(a, b));
   return it == trunk_by_pair_.end() ? nullptr : it->second;
+}
+
+void Fabric::for_each_trunk(
+    const std::function<void(std::uint32_t, std::uint32_t, Channel&)>& fn) {
+  for (auto& t : trunks_) fn(t->from, t->to, *t->channel);
 }
 
 void Fabric::set_fault_hook(FaultHook* hook) noexcept {

@@ -17,6 +17,7 @@
 
 #include "fabric/channel.hpp"
 #include "fabric/completion_queue.hpp"
+#include "fabric/congestion_hook.hpp"
 #include "fabric/queue_pair.hpp"
 #include "fabric/types.hpp"
 #include "hv/node.hpp"
@@ -220,10 +221,28 @@ class Fabric {
   /// links are perfect and the original fast path runs unchanged.
   void set_fault_hook(FaultHook* hook) noexcept;
   [[nodiscard]] FaultHook* fault_hook() const noexcept { return fault_hook_; }
-  /// True iff reliable-transport recovery is active (a fault hook is set).
+  /// True iff reliable-transport recovery is active: a fault hook is set, or
+  /// finite switch buffers make the fabric lossy on its own (tail-dropped
+  /// packets fall back to the same NAK/RTO machinery).
   [[nodiscard]] bool reliable() const noexcept {
-    return fault_hook_ != nullptr;
+    return fault_hook_ != nullptr || config_.lossy();
   }
+
+  /// Install (or clear) the congestion hook: the destination HCA reports
+  /// every ECN-marked data arrival to it (DCQCN's CNP generation point).
+  /// Normally installed by congestion::RateController's constructor.
+  void set_congestion_hook(CongestionHook* hook) noexcept {
+    congestion_hook_ = hook;
+  }
+  [[nodiscard]] CongestionHook* congestion_hook() const noexcept {
+    return congestion_hook_;
+  }
+
+  /// Enumerate the directed trunk channels in creation order (deterministic).
+  /// The broker uses this to price trunk congestion per leaf switch.
+  void for_each_trunk(
+      const std::function<void(std::uint32_t from, std::uint32_t to,
+                               Channel& channel)>& fn);
 
  private:
   friend class Hca;
@@ -233,6 +252,8 @@ class Fabric {
   struct Trunk {
     FabricConfig config;
     std::unique_ptr<Channel> channel;
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
   };
 
   /// An uplink handed the switch fabric a packet: hop it from the source
@@ -258,6 +279,7 @@ class Fabric {
   QpNum next_qp_ = 1;
   std::uint32_t next_cq_ = 1;
   FaultHook* fault_hook_ = nullptr;
+  CongestionHook* congestion_hook_ = nullptr;
 };
 
 }  // namespace resex::fabric

@@ -152,6 +152,29 @@ struct FabricConfig {
   /// CPU cost to build + post one WQE (doorbell write included).
   sim::SimDuration post_cost = 300;
 
+  // --- switch congestion (resex::congestion) -------------------------------
+  /// Egress buffer capacity of each switch port, in packets. Applies to the
+  /// channels the switch transmits on (host downlinks and trunks); a host
+  /// uplink is the sender HCA's own transmit queue and never drops. 0 keeps
+  /// the historical infinite-buffer lossless model, byte-identical to builds
+  /// without the congestion subsystem.
+  std::uint32_t port_buffer_pkts = 0;
+  /// ECN marking thresholds on switch-port egress occupancy, RED-style:
+  /// below kmin no packet is marked, at or above kmax every packet is, in
+  /// between the marking probability ramps linearly (realized with a
+  /// deterministic fractional accumulator, not an RNG, so runs stay
+  /// byte-identical at any --jobs). kmax = 0 disables marking; otherwise
+  /// 1 <= kmin <= kmax is required.
+  std::uint32_t ecn_kmin_pkts = 0;
+  std::uint32_t ecn_kmax_pkts = 0;
+
+  /// True iff switch buffers are finite (packets can be tail-dropped).
+  [[nodiscard]] bool lossy() const noexcept { return port_buffer_pkts > 0; }
+  /// True iff any congestion mechanism (drop or mark) is configured.
+  [[nodiscard]] bool congestion_enabled() const noexcept {
+    return port_buffer_pkts > 0 || ecn_kmax_pkts > 0;
+  }
+
   [[nodiscard]] double ns_per_byte() const noexcept {
     return 1e9 / link_bytes_per_sec;
   }
@@ -226,6 +249,10 @@ struct Packet {
   /// Payload damaged in flight; the receiver discards it silently and the
   /// sender's retransmit timer recovers it (a corrupt is a late drop).
   bool corrupted = false;
+  /// ECN Congestion Experienced: set by a congested switch port and carried
+  /// in the header through every remaining store-and-forward hop (never
+  /// cleared), so the destination HCA sees congestion anywhere on the path.
+  bool ecn = false;
   [[nodiscard]] bool last() const noexcept {
     return index + 1 == transfer->total_packets;
   }

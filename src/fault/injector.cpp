@@ -1,5 +1,6 @@
 #include "fault/injector.hpp"
 
+#include <algorithm>
 #include <string_view>
 
 namespace resex::fault {
@@ -61,6 +62,22 @@ void FaultInjector::arm(fabric::Fabric& fabric, hv::Node* control_node) {
     });
   }
 
+  // Squeezes are evaluated per-enqueue by time window, like flaps; the
+  // events below only mark the window edges in traces/metrics.
+  for (const auto& sq : plan_.squeezes) {
+    sim_->schedule_at(sq.at, [this, sq] {
+      sim_->metrics().counter("fault.squeezes").add();
+      RESEX_TRACE_INSTANT(sim_->tracer(), "fault.squeeze_begin", "fault",
+                          {"pkts", static_cast<double>(sq.pkts)},
+                          {"duration_ms",
+                           static_cast<double>(sq.duration) /
+                               static_cast<double>(sim::kMillisecond)});
+    });
+    sim_->schedule_at(sq.at + sq.duration, [this] {
+      RESEX_TRACE_INSTANT(sim_->tracer(), "fault.squeeze_end", "fault");
+    });
+  }
+
   for (const auto& delay : plan_.control_delays) {
     if (control_node == nullptr) break;
     control_node->add_control_path_delay(delay.at, delay.at + delay.duration,
@@ -90,6 +107,18 @@ sim::Rng& FaultInjector::stream_for(const fabric::Channel& channel) {
   return streams_
       .emplace(&channel, sim::Rng(sim::derive(seed_, fnv1a(channel.name()))))
       .first->second;
+}
+
+std::uint32_t FaultInjector::buffer_limit(const fabric::Channel& channel) {
+  if (plan_.squeezes.empty()) return 0;
+  const sim::SimTime now = sim_->now();
+  std::uint32_t limit = 0;
+  for (const auto& sq : plan_.squeezes) {
+    if (now < sq.at || now >= sq.at + sq.duration) continue;
+    if (!matches_channel(sq.channel, channel.name())) continue;
+    limit = limit == 0 ? sq.pkts : std::min(limit, sq.pkts);
+  }
+  return limit;
 }
 
 fabric::PacketFate FaultInjector::on_transmit(

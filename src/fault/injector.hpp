@@ -48,6 +48,11 @@ class FaultInjector final : public fabric::FaultHook {
       const fabric::Channel& channel,
       const fabric::detail::Packet& pkt) override;
 
+  /// Buffer-squeeze windows: the tightest active squeeze matching the
+  /// channel, or 0 when none applies.
+  [[nodiscard]] std::uint32_t buffer_limit(
+      const fabric::Channel& channel) override;
+
  private:
   [[nodiscard]] bool flap_active(const fabric::Channel& channel,
                                  sim::SimTime now) const;

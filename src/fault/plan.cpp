@@ -89,6 +89,22 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
         if (stall.hca < 0) bad(spec, "HCA index must be >= 0");
       }
       plan.stalls.push_back(stall);
+    } else if (key == "squeeze") {
+      const auto f = split(value, ':');
+      if (f.size() < 3 || f.size() > 4) {
+        bad(spec, "squeeze needs AT:DUR:PKTS[:CHAN]");
+      }
+      BufferSqueeze sq;
+      sq.at = ms_to_ns(parse_double(spec, f[0], "squeeze start"));
+      sq.duration = ms_to_ns(parse_double(spec, f[1], "squeeze duration"));
+      if (sq.duration <= 0) bad(spec, "squeeze duration must be > 0");
+      const double pkts = parse_double(spec, f[2], "squeeze packets");
+      if (pkts < 1.0 || pkts != std::floor(pkts)) {
+        bad(spec, "squeeze packets must be an integer >= 1");
+      }
+      sq.pkts = static_cast<std::uint32_t>(pkts);
+      if (f.size() == 4) sq.channel = std::string(f[3]);
+      plan.squeezes.push_back(std::move(sq));
     } else if (key == "ctl") {
       const auto f = split(value, ':');
       if (f.size() != 3) bad(spec, "ctl needs AT:DUR:EXTRA_US");
@@ -136,6 +152,12 @@ std::string FaultPlan::to_string() const {
     out << sep << "ctl=" << ms(d.at) << ':' << ms(d.duration) << ':'
         << static_cast<double>(d.extra) /
                static_cast<double>(sim::kMicrosecond);
+    sep = ",";
+  }
+  for (const auto& sq : squeezes) {
+    out << sep << "squeeze=" << ms(sq.at) << ':' << ms(sq.duration) << ':'
+        << sq.pkts;
+    if (!sq.channel.empty()) out << ':' << sq.channel;
     sep = ",";
   }
   return out.str();

@@ -18,6 +18,10 @@
 //                          at AT; HCA is the adapter index, omitted = all
 //   ctl=AT:DUR:EXTRA_US    dom0 control-path hypercalls take EXTRA_US µs
 //                          longer during [AT, AT+DUR)
+//   squeeze=AT:DUR:PKTS[:CHAN]  switch-port buffers shrink to PKTS packets
+//                          for DUR starting at AT (tail-dropping overflow) —
+//                          transient shared-buffer pressure as an injectable
+//                          congestion fault; CHAN matches like flap's
 //
 // Example: "drop=0.01,flap=300:150:A/up,ctl=0:1000:500"
 
@@ -65,6 +69,19 @@ struct ControlDelay {
   sim::SimDuration extra = 0;
 };
 
+/// One scripted buffer squeeze: during [at, at + duration) every matching
+/// switch-port channel enforces a `pkts`-packet egress buffer, tail-dropping
+/// the overflow. Models transient shared-buffer pressure (traffic outside
+/// the simulated world) as a congestion fault; the RC transport recovers the
+/// dropped packets.
+struct BufferSqueeze {
+  sim::SimTime at = 0;
+  sim::SimDuration duration = 0;
+  std::uint32_t pkts = 0;
+  /// Matched against Channel::name() like LinkFlap::channel.
+  std::string channel;
+};
+
 struct FaultPlan {
   /// Per-packet drop probability on every channel (seed-driven Bernoulli).
   double drop_rate = 0.0;
@@ -73,12 +90,13 @@ struct FaultPlan {
   std::vector<LinkFlap> flaps;
   std::vector<HcaStall> stalls;
   std::vector<ControlDelay> control_delays;
+  std::vector<BufferSqueeze> squeezes;
 
   /// True if the plan injects anything at all. An empty plan means the
   /// fabric runs the perfect-link fast path, byte-identical to no plan.
   [[nodiscard]] bool any() const noexcept {
     return drop_rate > 0.0 || corrupt_rate > 0.0 || !flaps.empty() ||
-           !stalls.empty() || !control_delays.empty();
+           !stalls.empty() || !control_delays.empty() || !squeezes.empty();
   }
 
   /// Parse a spec string (grammar above). Throws std::invalid_argument with

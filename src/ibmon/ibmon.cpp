@@ -17,6 +17,7 @@ void IbMon::watch_cq(hv::Domain& domain, const fabric::CompletionQueue& cq) {
   WatchedCq w;
   w.domain = domain.id();
   w.memory = &domain.memory();
+  w.cq = &cq;
   w.base = cq.ring_base();
   w.entries = cq.entries();
   watched_.push_back(w);
@@ -105,6 +106,7 @@ void IbMon::scan(WatchedCq& w) {
       }
       account(w.domain, cqe);
       ++consumed;
+      ++w.consumed_total;
       ++w.shadow;
       continue;
     }
@@ -145,20 +147,31 @@ void IbMon::scan(WatchedCq& w) {
     std::nth_element(scan_gaps.begin(), mid, scan_gaps.end());
     w.median_gap_ns = *mid;
   }
-  if (resynced > 0) {
-    // Charge the lost lap(s). Each overwritten slot proves at least one
-    // lost completion, but when the producer lapped the ring k times only
-    // the last lap's overwrites are visible — a pure per-slot charge
-    // undercounts by (k-1) rings. Extrapolate from the observed completion
-    // rate instead: the timestamp span this scan covered, divided by the
-    // median inter-completion gap (EWMA fallback), estimates how many
-    // completions the app produced; what we did not consume, we missed.
-    // (Entries still pending in the ring are counted here and consumed next
-    // scan without a span contribution, so the overshoot cancels across
-    // scans.) The per-slot count stays as the lower bound and as the
-    // fallback when timestamps carry no rate signal.
-    auto& st = stats_[w.domain];
-    std::uint64_t missed = resynced;
+  // Charge the lost lap(s). Each overwritten slot proves at least one
+  // lost completion, but when the producer lapped the ring k times only
+  // the last lap's overwrites are visible — a pure per-slot charge
+  // undercounts by (k-1) rings. Extrapolate from the observed completion
+  // rate instead: the timestamp span this scan covered, divided by the
+  // median inter-completion gap (EWMA fallback), estimates how many
+  // completions the app produced; what we did not consume, we missed.
+  // (Entries still pending in the ring are counted here and consumed next
+  // scan without a span contribution, so the overshoot cancels across
+  // scans.) The per-slot count stays as the lower bound and as the
+  // fallback when timestamps carry no rate signal.
+  //
+  // With hw_produce_counter the HCA's per-CQ counter makes the count exact:
+  // every CQE ever produced was either consumed by a scan or overwritten
+  // before one saw it, so the cumulative loss is produced() - consumed_total
+  // and each scan charges only the delta. This also catches losses the
+  // owner-bit walk cannot even see (an exact even number of laps between
+  // scans restores the expected parity, so resynced stays 0).
+  std::uint64_t missed = 0;
+  if (config_.hw_produce_counter && w.cq != nullptr) {
+    const std::uint64_t lost = w.cq->produced() - w.consumed_total;
+    missed = lost > w.missed_charged ? lost - w.missed_charged : 0;
+    w.missed_charged += missed;
+  } else if (resynced > 0) {
+    missed = resynced;
     const double gap_est =
         w.median_gap_ns > 0.0 ? w.median_gap_ns : w.ewma_gap_ns;
     if (gap_est > 0.0 && window_start > 0 && newest_ts > window_start) {
@@ -168,6 +181,9 @@ void IbMon::scan(WatchedCq& w) {
         missed = produced - consumed;
       }
     }
+  }
+  if (missed > 0) {
+    auto& st = stats_[w.domain];
     st.missed_estimate += missed;
     // Apportion the loss to the completion kinds this CQ actually carries
     // (a dedicated recv ring must not be charged as sends), sized by the

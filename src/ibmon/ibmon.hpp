@@ -50,6 +50,13 @@ struct IbMonConfig {
   /// by `stale()` — the controller's signal to hold its last observation
   /// instead of pricing on a gap. 0 disables staleness (default).
   sim::SimDuration stale_after = 0;
+  /// Charge lap losses from the HCA's per-CQ produce counter instead of the
+  /// timestamp-gap extrapolation. dom0 can read the counter through the
+  /// backend driver (a privileged register read the guest never sees), which
+  /// makes the lost-completion *count* exact; per-completion bytes are still
+  /// estimated from the consumed-CQE EWMAs. Off by default: the paper's tool
+  /// only had the rings.
+  bool hw_produce_counter = false;
 };
 
 class IbMon {
@@ -93,6 +100,9 @@ class IbMon {
   struct WatchedCq {
     hv::DomainId domain = 0;
     const mem::GuestMemory* memory = nullptr;
+    /// HCA-side handle for the hw_produce_counter register read; never used
+    /// to touch the ring itself (that goes through the foreign mapping).
+    const fabric::CompletionQueue* cq = nullptr;
     mem::GuestAddr base = 0;
     std::uint32_t entries = 0;
     std::uint64_t shadow = 0;   // next CQE index we expect to read
@@ -114,6 +124,12 @@ class IbMon {
     std::uint64_t seen_send = 0;
     std::uint64_t seen_recv = 0;
     std::uint64_t prev_consumed_ts = 0;
+    /// CQEs consumed as valid entries, ever (hw_produce_counter accounting:
+    /// produced() - consumed_total is exactly the CQEs lost to overruns).
+    std::uint64_t consumed_total = 0;
+    /// Lost completions already charged to missed_estimate, so each scan
+    /// only charges the delta.
+    std::uint64_t missed_charged = 0;
   };
 
   void scan(WatchedCq& w);

@@ -25,6 +25,12 @@ void Tracer::clear() noexcept {
   dropped_ = 0;
 }
 
+void Tracer::flush_stream() {
+  if (sink_ == nullptr || count_ == 0) return;
+  for_each([this](const TraceEvent& ev) { sink_->append(ev); });
+  clear();
+}
+
 void Tracer::for_each(
     const std::function<void(const TraceEvent&)>& fn) const {
   if (count_ == 0) return;
@@ -111,32 +117,63 @@ void append_event_fields(std::string& out, const TraceEvent& ev) {
   out.push_back('"');
 }
 
+// Single source of truth for both the batch writers and TraceStream, so a
+// streamed trace is byte-identical to a saved one when the ring never
+// wrapped.
+
+void append_chrome_prefix(std::string& out, std::uint64_t dropped) {
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  // Metadata first: lets viewers name the single sim-thread track and
+  // records how many events the ring dropped (0 in a well-sized ring, and
+  // always 0 when streaming — the sink absorbs every flush).
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":\"resex-sim\"}},";
+  out += "{\"name\":\"dropped_events\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"count\":";
+  append_u64(out, dropped);
+  out += "}}";
+}
+
+void append_chrome_event(std::string& out, const TraceEvent& ev) {
+  out += ",\n{";
+  append_event_fields(out, ev);
+  out += ",\"pid\":0,\"tid\":0,\"ts\":";
+  append_ns_as_us(out, ev.ts);
+  if (ev.phase == 'X') {
+    out += ",\"dur\":";
+    append_ns_as_us(out, ev.dur);
+  }
+  if (ev.phase == 'i') out += ",\"s\":\"t\"";  // thread-scoped instant
+  append_args(out, ev);
+  out.push_back('}');
+}
+
+void append_jsonl_event(std::string& out, const TraceEvent& ev) {
+  out.push_back('{');
+  append_event_fields(out, ev);
+  out += ",\"ts_ns\":";
+  append_u64(out, ev.ts);
+  if (ev.phase == 'X') {
+    out += ",\"dur_ns\":";
+    append_u64(out, ev.dur);
+  }
+  append_args(out, ev);
+  out += "}\n";
+}
+
+bool is_jsonl_path(const std::string& path) {
+  return path.size() >= 6 &&
+         path.compare(path.size() - 6, 6, ".jsonl") == 0;
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
   std::string out;
   out.reserve(1u << 16);
-  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
-  // Metadata first: lets viewers name the single sim-thread track and
-  // records how many events the ring dropped (0 in a well-sized ring).
-  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
-         "\"args\":{\"name\":\"resex-sim\"}},";
-  out += "{\"name\":\"dropped_events\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
-         "\"args\":{\"count\":";
-  append_u64(out, tracer.dropped());
-  out += "}}";
+  append_chrome_prefix(out, tracer.dropped());
   tracer.for_each([&out, &os](const TraceEvent& ev) {
-    out += ",\n{";
-    append_event_fields(out, ev);
-    out += ",\"pid\":0,\"tid\":0,\"ts\":";
-    append_ns_as_us(out, ev.ts);
-    if (ev.phase == 'X') {
-      out += ",\"dur\":";
-      append_ns_as_us(out, ev.dur);
-    }
-    if (ev.phase == 'i') out += ",\"s\":\"t\"";  // thread-scoped instant
-    append_args(out, ev);
-    out.push_back('}');
+    append_chrome_event(out, ev);
     if (out.size() > (1u << 20)) {  // flush in chunks, not per event
       os.write(out.data(), static_cast<std::streamsize>(out.size()));
       out.clear();
@@ -150,16 +187,7 @@ void write_trace_jsonl(std::ostream& os, const Tracer& tracer) {
   std::string out;
   out.reserve(1u << 16);
   tracer.for_each([&out, &os](const TraceEvent& ev) {
-    out.push_back('{');
-    append_event_fields(out, ev);
-    out += ",\"ts_ns\":";
-    append_u64(out, ev.ts);
-    if (ev.phase == 'X') {
-      out += ",\"dur_ns\":";
-      append_u64(out, ev.dur);
-    }
-    append_args(out, ev);
-    out += "}\n";
+    append_jsonl_event(out, ev);
     if (out.size() > (1u << 20)) {
       os.write(out.data(), static_cast<std::streamsize>(out.size()));
       out.clear();
@@ -168,14 +196,57 @@ void write_trace_jsonl(std::ostream& os, const Tracer& tracer) {
   os.write(out.data(), static_cast<std::streamsize>(out.size()));
 }
 
+// --- TraceStream -------------------------------------------------------------
+
+TraceStream::TraceStream(const std::string& path)
+    : os_(std::make_unique<std::ofstream>(path,
+                                          std::ios::binary | std::ios::trunc)),
+      path_(path), jsonl_(is_jsonl_path(path)) {
+  if (!*os_) {
+    throw std::runtime_error("TraceStream: cannot open '" + path + "'");
+  }
+  buf_.reserve(1u << 16);
+  if (!jsonl_) append_chrome_prefix(buf_, 0);
+}
+
+TraceStream::~TraceStream() {
+  try {
+    finish();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+    // Destructor-path best effort; call finish() to observe write errors.
+  }
+}
+
+void TraceStream::append(const TraceEvent& ev) {
+  if (finished_) return;
+  jsonl_ ? append_jsonl_event(buf_, ev) : append_chrome_event(buf_, ev);
+  ++written_;
+  if (buf_.size() > (1u << 20)) flush_buffer();
+}
+
+void TraceStream::flush_buffer() {
+  os_->write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  buf_.clear();
+}
+
+void TraceStream::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!jsonl_) buf_ += "\n]}\n";
+  flush_buffer();
+  os_->flush();
+  if (!*os_) {
+    throw std::runtime_error("TraceStream: write to '" + path_ + "' failed");
+  }
+}
+
 void save_trace(const std::string& path, const Tracer& tracer) {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) {
     throw std::runtime_error("save_trace: cannot open '" + path + "'");
   }
-  const bool jsonl =
-      path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
-  jsonl ? write_trace_jsonl(os, tracer) : write_chrome_trace(os, tracer);
+  is_jsonl_path(path) ? write_trace_jsonl(os, tracer)
+                      : write_chrome_trace(os, tracer);
   os.flush();
   if (!os) {
     throw std::runtime_error("save_trace: write to '" + path + "' failed");

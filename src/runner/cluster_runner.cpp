@@ -14,6 +14,14 @@ std::vector<ClusterOutcome> run_cluster(std::vector<ClusterPoint> points,
   if (!opts.faults.empty()) {
     for (auto& p : points) p.config.faults = opts.faults;
   }
+  if (opts.congestion_set()) {
+    for (auto& p : points) {
+      p.config.congestion.buffer_pkts = opts.buf_pkts;
+      p.config.congestion.ecn_kmin = opts.ecn_kmin;
+      p.config.congestion.ecn_kmax = opts.ecn_kmax;
+      p.config.congestion.rate_control = opts.ecn_kmax > 0;
+    }
+  }
   const std::size_t seeds = opts.seeds == 0 ? 1 : opts.seeds;
   const auto metrics_period = static_cast<sim::SimDuration>(
       opts.metrics_period_ms * static_cast<double>(sim::kMillisecond));

@@ -89,10 +89,29 @@ RunnerOptions parse_options(int argc, const char* const* argv) {
       // Validate now so a typo fails before any trial runs (FaultPlan::parse
       // throws std::invalid_argument with a pointed message).
       (void)fault::FaultPlan::parse(opts.faults);
+    } else if (arg == "--buf-pkts") {
+      opts.buf_pkts = static_cast<std::uint32_t>(parse_u64(arg, take_value()));
+      if (opts.buf_pkts == 0) {
+        throw std::invalid_argument("--buf-pkts: must be >= 1");
+      }
+    } else if (arg == "--ecn-kmin") {
+      opts.ecn_kmin = static_cast<std::uint32_t>(parse_u64(arg, take_value()));
+    } else if (arg == "--ecn-kmax") {
+      opts.ecn_kmax = static_cast<std::uint32_t>(parse_u64(arg, take_value()));
     } else {
       throw std::invalid_argument("unknown option '" + std::string(arg) +
                                   "' (see --help)");
     }
+  }
+  // ECN thresholds come as a pair: marking needs both bounds, and the fabric
+  // rejects kmin > kmax. Catch it here so the message names the flags.
+  if (opts.ecn_kmax > 0 &&
+      (opts.ecn_kmin == 0 || opts.ecn_kmin > opts.ecn_kmax)) {
+    throw std::invalid_argument(
+        "--ecn-kmax: requires --ecn-kmin with 1 <= kmin <= kmax");
+  }
+  if (opts.ecn_kmin > 0 && opts.ecn_kmax == 0) {
+    throw std::invalid_argument("--ecn-kmin: requires --ecn-kmax");
   }
   return opts;
 }
@@ -118,6 +137,11 @@ void print_usage(std::ostream& os, const std::string& prog) {
      << "  --faults SPEC       inject a deterministic fault plan into every\n"
      << "              trial, e.g. drop=0.01,flap=300:150:A/up (see\n"
      << "              fault::FaultPlan for the grammar)\n"
+     << "  --buf-pkts N        finite per-port switch buffers, in packets.\n"
+     << "              Full ports tail-drop; RC recovers via NAK/RTO.\n"
+     << "  --ecn-kmin N        ECN marking lower threshold, in packets\n"
+     << "  --ecn-kmax N        ECN marking upper threshold; setting it turns\n"
+     << "              on marking and DCQCN-style per-QP rate control\n"
      << "Per-trial results are byte-identical for any --jobs value.\n";
 }
 

@@ -9,6 +9,9 @@
 //   --metrics-json PATH  per-trial metrics snapshots (resex.metrics/v1)
 //   --metrics-period MS  also snapshot every MS ms of sim time (time series)
 //   --faults SPEC        inject a fault plan into every trial (fault::FaultPlan)
+//   --buf-pkts N         finite per-port switch buffers, in packets (0 = off)
+//   --ecn-kmin N         ECN marking lower threshold, packets (needs --ecn-kmax)
+//   --ecn-kmax N         ECN marking upper threshold; enables DCQCN rate control
 // Results are byte-identical for any --jobs value; only wall-clock changes.
 
 #include <cstddef>
@@ -38,7 +41,19 @@ struct RunnerOptions {
   /// Validated at parse time; empty = whatever the bench configures (usually
   /// fault-free).
   std::string faults;
+  /// Finite per-port switch buffer depth in packets applied to every trial.
+  /// 0 = keep the bench's own setting (usually infinite / lossless).
+  std::uint32_t buf_pkts = 0;
+  /// ECN marking thresholds in packets; kmax > 0 enables marking (and the
+  /// runner turns on DCQCN rate control). Requires 1 <= kmin <= kmax.
+  std::uint32_t ecn_kmin = 0;
+  std::uint32_t ecn_kmax = 0;
   bool help = false;
+
+  /// True when any congestion knob was set on the command line.
+  [[nodiscard]] bool congestion_set() const {
+    return buf_pkts > 0 || ecn_kmax > 0;
+  }
 
   /// The worker count actually used: jobs, or hardware concurrency (>= 1).
   [[nodiscard]] std::size_t resolved_jobs() const;

@@ -10,6 +10,15 @@ std::vector<PointOutcome> run_sweep(std::vector<SweepPoint> points,
   if (!opts.faults.empty()) {
     for (auto& p : points) p.config.faults = opts.faults;
   }
+  if (opts.congestion_set()) {
+    for (auto& p : points) {
+      p.config.congestion.buffer_pkts = opts.buf_pkts;
+      p.config.congestion.ecn_kmin = opts.ecn_kmin;
+      p.config.congestion.ecn_kmax = opts.ecn_kmax;
+      // Marking without reaction just loses information; the CLI pairs them.
+      p.config.congestion.rate_control = opts.ecn_kmax > 0;
+    }
+  }
   ThreadPool pool(opts.resolved_jobs());
   ObsOptions obs;
   obs.trace_base = opts.trace_path;

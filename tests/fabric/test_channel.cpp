@@ -219,6 +219,129 @@ TEST_F(ChannelFixture, RateTimerWakesIdleChannel) {
   EXPECT_GT(delivered[1].first, delivered[0].first + 90_us);
 }
 
+TEST_F(ChannelFixture, WrrIsWorkConservingUnderMixedMtuWithRateLimiters) {
+  // Property: while an unthrottled flow stays backlogged the link never
+  // idles, no matter how weights, rate limiters and packet sizes mix. With
+  // test_config's 1 ns/byte wire, that pins every inter-delivery gap to the
+  // next packet's serialization time and the makespan to total-bytes + one
+  // propagation delay.
+  testing::Endpoint ep_c = world.make_endpoint(world.node_a, *world.hca_a,
+                                               "src3");
+  std::vector<std::uint32_t> sizes;  // bytes of each delivered packet
+  chan.set_sink([this, &sizes](detail::Packet p) {
+    delivered.emplace_back(world.sim.now(), p.transfer->src_qp->num());
+    sizes.push_back(p.bytes);
+  });
+  chan.set_flow_weight(ep_b.qp->num(), 2);
+  chan.set_flow_rate_limit(ep_c.qp->num(), 200e6);  // 0.2 B/ns, 1/5 line rate
+
+  std::uint64_t total_bytes = 0;
+  std::size_t total_packets = 0;
+  const auto offer = [&](testing::Endpoint& ep, std::uint32_t bytes) {
+    enqueue_message(*ep.qp, bytes);
+    total_bytes += bytes;
+    total_packets += cfg.packets_for(bytes);
+  };
+  // A: the unthrottled backlog that outlasts everyone (multi-MTU messages
+  // with a short tail packet). B: full-MTU and sub-MTU messages at weight 2.
+  // C: sub-MTU messages through the token bucket.
+  for (int i = 0; i < 20; ++i) offer(ep_a, 2 * 1024 + 512);
+  for (int i = 0; i < 8; ++i) offer(ep_b, 1024);
+  for (int i = 0; i < 4; ++i) offer(ep_b, 300);
+  for (int i = 0; i < 6; ++i) offer(ep_c, 700);
+  world.sim.run();
+
+  ASSERT_EQ(delivered.size(), total_packets);  // nothing lost or duplicated
+  EXPECT_EQ(chan.busy_time(), total_bytes);    // serialization conserved
+  // A must be the straggler for the makespan property to bite.
+  ASSERT_EQ(delivered.back().second, ep_a.qp->num());
+  EXPECT_EQ(delivered.back().first, total_bytes + 200u);
+  // No idle gap anywhere before A's last packet: each delivery follows the
+  // previous by exactly its own serialization time.
+  EXPECT_EQ(delivered.front().first, sizes.front() + 200u);
+  for (std::size_t i = 1; i < delivered.size(); ++i) {
+    EXPECT_EQ(delivered[i].first - delivered[i - 1].first, sizes[i])
+        << "link idled before packet " << i;
+  }
+}
+
+TEST_F(ChannelFixture, WrrDoesNotStarveAnyFlowUnderMixedMtu) {
+  testing::Endpoint ep_c = world.make_endpoint(world.node_a, *world.hca_a,
+                                               "src3");
+  chan.set_flow_weight(ep_b.qp->num(), 2);
+  chan.set_flow_rate_limit(ep_c.qp->num(), 200e6);
+  enqueue_message(*ep_a.qp, 40 * 1024);
+  for (int i = 0; i < 16; ++i) enqueue_message(*ep_b.qp, 700);
+  for (int i = 0; i < 4; ++i) enqueue_message(*ep_c.qp, 1024);
+  world.sim.run();
+
+  // Every flow is served within the first WRR round (weights sum to 4).
+  const auto first_grant = [&](QpNum qp) {
+    for (std::size_t i = 0; i < delivered.size(); ++i) {
+      if (delivered[i].second == qp) return i;
+    }
+    return delivered.size();
+  };
+  EXPECT_LT(first_grant(ep_a.qp->num()), 4u);
+  EXPECT_LT(first_grant(ep_b.qp->num()), 4u);
+  EXPECT_LT(first_grant(ep_c.qp->num()), 4u);
+  // While both unthrottled flows are backlogged, A never waits longer than
+  // the other flows' combined weight between its own grants (B's 2 plus at
+  // most one C packet whenever its bucket has tokens).
+  sim::SimTime last_b = 0;
+  for (const auto& [t, qp] : delivered) {
+    if (qp == ep_b.qp->num()) last_b = std::max(last_b, t);
+  }
+  std::size_t run_without_a = 0;
+  for (const auto& [t, qp] : delivered) {
+    if (t > last_b) break;  // contention over: B drained
+    run_without_a = qp == ep_a.qp->num() ? 0 : run_without_a + 1;
+    EXPECT_LE(run_without_a, 3u) << "flow A starved at t=" << t;
+  }
+}
+
+// --- EcnMarker bound properties ---------------------------------------------
+
+TEST(EcnMarkerProperty, NeverMarksBelowKminAlwaysMarksAtOrAboveKmax) {
+  EcnMarker marker(4, 12);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const std::uint64_t occ = (i * 7919) % 20;  // deterministic sweep 0..19
+    const bool marked = marker.on_enqueue(occ);
+    if (occ < 4) EXPECT_FALSE(marked) << "occ=" << occ;
+    if (occ >= 12) EXPECT_TRUE(marked) << "occ=" << occ;
+  }
+}
+
+TEST(EcnMarkerProperty, DisabledMarkerNeverMarks) {
+  EcnMarker marker(0, 0);
+  for (std::uint64_t occ = 0; occ < 100; ++occ) {
+    EXPECT_FALSE(marker.on_enqueue(occ));
+  }
+}
+
+TEST(EcnMarkerProperty, RampIsLinearAndDeterministic) {
+  // Between the thresholds the accumulator realizes the RED ramp exactly:
+  // at constant occupancy q the long-run mark count is n*(q-kmin+1)/(kmax-
+  // kmin+1) to within one carry.
+  constexpr std::uint32_t kMin = 4, kMax = 12;
+  constexpr int kN = 9000;
+  for (std::uint64_t occ = kMin; occ < kMax; ++occ) {
+    EcnMarker marker(kMin, kMax);
+    int marks = 0;
+    for (int i = 0; i < kN; ++i) marks += marker.on_enqueue(occ) ? 1 : 0;
+    const double expected = kN *
+                            (static_cast<double>(occ) - kMin + 1.0) /
+                            (kMax - kMin + 1.0);
+    EXPECT_NEAR(static_cast<double>(marks), expected, 1.0) << "occ=" << occ;
+  }
+  // And identical sequences mark identically (pure function of history).
+  EcnMarker x(kMin, kMax), y(kMin, kMax);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const std::uint64_t occ = (i * 31) % 16;
+    EXPECT_EQ(x.on_enqueue(occ), y.on_enqueue(occ)) << "i=" << i;
+  }
+}
+
 TEST_F(ChannelFixture, ZeroLengthMessageStillCostsAPacket) {
   auto t = make_transfer(*ep_a.qp, 0);
   t->wire_length = 1;

@@ -242,6 +242,73 @@ TEST_F(IbMonFixture, MedianGapResistsSlowTailAt500msSampling) {
   EXPECT_LE(seen, 1.15 * truth);
 }
 
+TEST_F(IbMonFixture, HwProduceCounterIsExactAt500msSampling) {
+  // Same workload as MedianGapResistsSlowTailAt500msSampling (ring laps ~9x
+  // between scans, slow tails poisoning the gap estimators), but dom0 reads
+  // the HCA's per-CQ produce counter: the completion *count* must be exact,
+  // strictly better than the extrapolation's worst-case ~13 % error.
+  IbMon smon{world.sim,
+             IbMonConfig{.sample_period = 500 * sim::kMillisecond,
+                         .mtu_bytes = 1024, .hw_produce_counter = true}};
+  smon.watch_cq(*ep.domain, *ep.send_cq);
+  world.sim.schedule_at(1_us, [this] {
+    ep.send_cq->produce(send_cqe(1, 2048));
+    (void)ep.send_cq->poll();
+  });
+  world.sim.schedule_at(2_us, [&smon] { smon.sample_now(); });
+
+  std::uint64_t produced = 1;
+  world.sim.spawn([](sim::Simulation& sim, Endpoint& e,
+                     std::uint64_t& total) -> Task {
+    co_await sim.delay(10 * sim::kMicrosecond);
+    for (int window = 0; window < 4; ++window) {
+      for (int i = 0; i < 9600; ++i) {  // steady phase: one per 50 us
+        e.send_cq->produce(send_cqe(1, 2048));
+        (void)e.send_cq->poll();
+        ++total;
+        co_await sim.delay(50 * sim::kMicrosecond);
+      }
+      for (int i = 0; i < 10; ++i) {  // slow tail: one per 2 ms
+        e.send_cq->produce(send_cqe(1, 2048));
+        (void)e.send_cq->poll();
+        ++total;
+        co_await sim.delay(2 * sim::kMillisecond);
+      }
+    }
+  }(world.sim, ep, produced));
+
+  smon.start();
+  world.sim.run_until(2100 * sim::kMillisecond);
+  smon.sample_now();  // sweep entries produced after the last periodic scan
+
+  const auto st = smon.stats(ep.domain->id());
+  EXPECT_EQ(st.send_completions + st.missed_estimate, produced);
+  // The bytes of lost completions are still EWMA-estimated, but here every
+  // message is 2048 bytes, so the total must be exact too.
+  EXPECT_EQ(st.send_bytes, produced * 2048u);
+}
+
+TEST_F(IbMonFixture, HwProduceCounterCatchesExactEvenLapOverrun) {
+  // An exact even number of laps between scans restores the expected owner
+  // parity: the ring walk consumes a full ring of *current-lap* CQEs and
+  // never resyncs, silently dropping the skipped laps. The produce counter
+  // sees through it.
+  IbMon hwmon{world.sim, IbMonConfig{.hw_produce_counter = true}};
+  hwmon.watch_cq(*ep.domain, *ep.send_cq);
+  const std::uint32_t entries = ep.send_cq->entries();
+  world.sim.schedule_at(1_us, [&] {
+    for (std::uint32_t i = 0; i < 2 * entries; ++i) {
+      ep.send_cq->produce(send_cqe(i, 2048));
+      (void)ep.send_cq->poll();
+    }
+  });
+  world.sim.run();
+  hwmon.sample_now();
+  const auto st = hwmon.stats(ep.domain->id());
+  EXPECT_EQ(st.send_completions + st.missed_estimate, 2u * entries);
+  EXPECT_GT(st.missed_estimate, 0u);
+}
+
 TEST_F(IbMonFixture, PeriodicSamplerRuns) {
   mon.watch_cq(*ep.domain, *ep.send_cq);
   mon.start();
