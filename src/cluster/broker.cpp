@@ -41,10 +41,21 @@ double ClusterBroker::port_congestion(const fabric::Channel& ch,
   const double loss_frac =
       offered <= 0.0 ? 0.0
                      : static_cast<double>(d_marks + d_drops) / offered;
-  const std::uint32_t cap = ch.config().port_buffer_pkts;
-  const double occ_frac =
-      cap == 0 ? 0.0
-               : static_cast<double>(ch.backlog_packets()) / cap;
+  // Occupancy fraction in whatever unit the port accounts in: bytes against
+  // the byte cap (or the shared pool size) when byte occupancy is on,
+  // packets against the packet cap otherwise.
+  const auto& cfg = ch.config();
+  double occ_frac = 0.0;
+  if (cfg.byte_occupancy()) {
+    const std::uint64_t cap_bytes = cfg.port_buffer_bytes > 0
+                                        ? cfg.port_buffer_bytes
+                                        : cfg.switch_pool_bytes;
+    occ_frac = static_cast<double>(ch.backlog_bytes()) /
+               static_cast<double>(cap_bytes);
+  } else if (cfg.port_buffer_pkts > 0) {
+    occ_frac = static_cast<double>(ch.backlog_packets()) /
+               cfg.port_buffer_pkts;
+  }
   return std::min(1.0, std::max(loss_frac, occ_frac));
 }
 

@@ -53,15 +53,30 @@ struct CongestionConfig {
   /// Run the DCQCN-style RateController on top of ECN marks.
   bool rate_control = false;
   DcqcnConfig dcqcn{};
+  /// Per-port egress capacity in *bytes* (0 = use buffer_pkts). Switches the
+  /// port to byte-based occupancy accounting.
+  std::uint64_t buffer_bytes = 0;
+  /// Shared per-switch buffer pool, bytes: each port admits up to
+  /// `pool_alpha * free pool` (dynamic threshold), replacing fixed caps.
+  std::uint64_t pool_bytes = 0;
+  double pool_alpha = 1.0;
+  /// PFC-style lossless mode: ports pause their upstreams at XOFF instead of
+  /// tail-dropping (requires finite buffers).
+  bool pfc = false;
 
   [[nodiscard]] bool any() const noexcept {
-    return buffer_pkts > 0 || ecn_kmax > 0;
+    return buffer_pkts > 0 || ecn_kmax > 0 || buffer_bytes > 0 ||
+           pool_bytes > 0;
   }
   /// Copy the fabric-enforced knobs into a fabric config.
   void apply(fabric::FabricConfig& fabric) const noexcept {
     fabric.port_buffer_pkts = buffer_pkts;
     fabric.ecn_kmin_pkts = ecn_kmin;
     fabric.ecn_kmax_pkts = ecn_kmax;
+    fabric.port_buffer_bytes = buffer_bytes;
+    fabric.switch_pool_bytes = pool_bytes;
+    fabric.pool_alpha = pool_alpha;
+    fabric.pfc_enabled = pfc;
   }
 };
 

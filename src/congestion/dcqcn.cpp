@@ -76,6 +76,18 @@ void RateController::on_cnp(fabric::QpNum qp) {
   arm_timers(f);
 }
 
+void RateController::alpha_tick_for(fabric::QpNum qp) {
+  if (const auto it = flows_.find(qp); it != flows_.end()) {
+    alpha_tick(it->second);
+  }
+}
+
+void RateController::increase_tick_for(fabric::QpNum qp) {
+  if (const auto it = flows_.find(qp); it != flows_.end()) {
+    increase_tick(it->second);
+  }
+}
+
 void RateController::alpha_tick(Flow& f) {
   if (!f.capped) return;
   // A full timer period without a cut means the path stayed mark-free long
@@ -83,8 +95,8 @@ void RateController::alpha_tick(Flow& f) {
   if (sim_.now() - f.last_cut >= cfg_.alpha_timer) {
     f.alpha *= 1.0 - cfg_.alpha_g;
   }
-  f.alpha_tick = sim_.schedule_in(cfg_.alpha_timer,
-                                  [this, &f] { alpha_tick(f); });
+  f.alpha_tick = sim_.schedule_in(
+      cfg_.alpha_timer, [this, qp = f.qp->num()] { alpha_tick_for(qp); });
 }
 
 void RateController::increase_tick(Flow& f) {
@@ -103,8 +115,9 @@ void RateController::increase_tick(Flow& f) {
     return;
   }
   apply(f);
-  f.increase_tick = sim_.schedule_in(cfg_.increase_period,
-                                     [this, &f] { increase_tick(f); });
+  f.increase_tick = sim_.schedule_in(
+      cfg_.increase_period,
+      [this, qp = f.qp->num()] { increase_tick_for(qp); });
 }
 
 void RateController::apply(Flow& f) {
@@ -112,12 +125,27 @@ void RateController::apply(Flow& f) {
 }
 
 void RateController::arm_timers(Flow& f) {
+  const fabric::QpNum qp = f.qp->num();
   f.alpha_tick.cancel();
-  f.alpha_tick = sim_.schedule_in(cfg_.alpha_timer,
-                                  [this, &f] { alpha_tick(f); });
+  f.alpha_tick =
+      sim_.schedule_in(cfg_.alpha_timer, [this, qp] { alpha_tick_for(qp); });
   f.increase_tick.cancel();
   f.increase_tick = sim_.schedule_in(cfg_.increase_period,
-                                     [this, &f] { increase_tick(f); });
+                                     [this, qp] { increase_tick_for(qp); });
+}
+
+void RateController::on_qp_error(fabric::QueuePair& qp) {
+  const auto it = flows_.find(qp.num());
+  if (it == flows_.end()) return;
+  Flow& f = it->second;
+  f.alpha_tick.cancel();
+  f.increase_tick.cancel();
+  if (f.capped) {
+    f.qp->hca().uplink().set_flow_rate_limit(f.qp->num(), 0.0);
+  }
+  RESEX_TRACE_INSTANT(sim_.tracer(), "congestion.qp_forget", "congestion",
+                      {"qp", static_cast<double>(qp.num())});
+  flows_.erase(it);
 }
 
 void RateController::uncap(Flow& f) {

@@ -37,6 +37,10 @@ class RateController final : public fabric::CongestionHook {
   RateController& operator=(const RateController&) = delete;
 
   void on_marked_arrival(fabric::QueuePair& src_qp) override;
+  /// Fatal QP error: cancel the flow's timers, clear its uplink limiter and
+  /// erase its state — pending timer callbacks re-look the flow up by QpNum
+  /// and become no-ops once it is gone.
+  void on_qp_error(fabric::QueuePair& qp) override;
 
   /// CNPs actually generated (post-pacing).
   [[nodiscard]] std::uint64_t cnps() const noexcept { return cnps_; }
@@ -64,6 +68,11 @@ class RateController final : public fabric::CongestionHook {
   void on_cnp(fabric::QpNum qp);
   void alpha_tick(Flow& f);
   void increase_tick(Flow& f);
+  // Timer trampolines: timers are keyed by QpNum and re-look the flow up at
+  // fire time, so erasing a flow (QP teardown) can never leave a timer
+  // holding a dangling Flow reference.
+  void alpha_tick_for(fabric::QpNum qp);
+  void increase_tick_for(fabric::QpNum qp);
   /// Push the flow's current cap into its sender-uplink token bucket.
   void apply(Flow& f);
   void arm_timers(Flow& f);

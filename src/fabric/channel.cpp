@@ -33,21 +33,135 @@ Channel::Channel(sim::Simulation& sim, const FabricConfig& config,
   });
 }
 
-void Channel::configure_switch_port() {
+void Channel::configure_switch_port(SwitchBufferPool* pool,
+                                    const std::vector<Channel*>* upstreams) {
   switch_port_ = true;
+  pool_ = pool;
+  upstreams_ = upstreams;
   if (!config_.congestion_enabled()) return;
-  ecn_marker_ = EcnMarker(config_.ecn_kmin_pkts, config_.ecn_kmax_pkts);
+  byte_mode_ = config_.byte_occupancy();
+  pfc_on_ = config_.pfc_enabled;
+  // In byte mode the packet-denominated ECN thresholds scale by the MTU, so
+  // --ecn-kmin/--ecn-kmax keep their meaning under either accounting.
+  const std::uint64_t unit = byte_mode_ ? config_.mtu_bytes : 1;
+  ecn_configured_ = config_.ecn_kmax_pkts > 0;
+  if (ecn_configured_) {
+    ecn_marker_ = EcnMarker(config_.ecn_kmin_pkts * unit,
+                            config_.ecn_kmax_pkts * unit);
+  }
   // Fabric-wide aggregates plus per-port gauges, registered only when
   // congestion is configured so default runs export an unchanged metric set.
   auto& metrics = sim_.metrics();
   buf_drops_total_ = &metrics.counter("fabric.buf_drops");
   ecn_marks_total_ = &metrics.counter("fabric.ecn_marks");
-  occupancy_hist_ = &metrics.histogram("fabric.port_occupancy_pkts");
+  occupancy_hist_ = &metrics.histogram(byte_mode_
+                                           ? "fabric.port_occupancy_bytes"
+                                           : "fabric.port_occupancy_pkts");
   const std::string prefix = "fabric." + name_;
   metrics.gauge_fn(prefix + ".buf_drops",
                    [this] { return static_cast<double>(buf_drops_); });
   metrics.gauge_fn(prefix + ".ecn_marks",
                    [this] { return static_cast<double>(ecn_marks_); });
+  if (pfc_on_) {
+    pauses_total_ = &metrics.counter("fabric.pfc_pauses");
+    pause_dur_hist_ = &metrics.histogram("fabric.pause_duration_ns");
+    metrics.gauge_fn(prefix + ".pauses_sent",
+                     [this] { return static_cast<double>(pauses_sent_); });
+    metrics.gauge_fn(prefix + ".paused_ns", [this] {
+      return static_cast<double>(paused_time());
+    });
+  }
+}
+
+std::uint64_t Channel::occupancy_units() const noexcept {
+  return byte_mode_ ? backlog_bytes_ : backlog_packets();
+}
+
+std::uint64_t Channel::capacity_units() {
+  std::uint64_t cap = 0;
+  if (pool_ != nullptr) {
+    // The shared pool's dynamic threshold replaces any fixed per-port cap.
+    cap = pool_->threshold();
+  } else if (byte_mode_) {
+    cap = config_.port_buffer_bytes;
+  } else {
+    cap = config_.port_buffer_pkts;
+  }
+  if (fault_hook_ != nullptr) {
+    if (const std::uint32_t squeeze = fault_hook_->buffer_limit(*this);
+        squeeze > 0) {
+      cap = byte_mode_ ? std::uint64_t{squeeze} * config_.mtu_bytes : squeeze;
+    }
+  }
+  return cap;
+}
+
+sim::SimDuration Channel::paused_time() const noexcept {
+  sim::SimDuration total = paused_time_;
+  if (pause_refs_ > 0) total += sim_.now() - paused_since_;
+  return total;
+}
+
+void Channel::pause() {
+  if (pause_refs_++ == 0) paused_since_ = sim_.now();
+}
+
+void Channel::resume() {
+  if (pause_refs_ == 0) return;
+  if (--pause_refs_ > 0) return;
+  const sim::SimDuration dur = sim_.now() - paused_since_;
+  paused_time_ += dur;
+  // Lazily resolved: host uplinks are pause targets without ever having been
+  // configured as switch ports, and only PFC runs reach this path.
+  if (pause_dur_hist_ == nullptr) {
+    pause_dur_hist_ = &sim_.metrics().histogram("fabric.pause_duration_ns");
+  }
+  pause_dur_hist_->observe(static_cast<std::uint64_t>(dur));
+  if (sim_.tracer().enabled()) {
+    sim_.tracer().complete("fabric.paused", "congestion", paused_since_, dur);
+  }
+  if (!busy_) try_start();
+}
+
+void Channel::set_pause_upstream(bool pause) {
+  pfc_asserted_ = pause;
+  if (pause) {
+    ++pauses_sent_;
+    if (pauses_total_ != nullptr) pauses_total_->add();
+  }
+  if (sim_.tracer().enabled()) {
+    sim_.tracer().instant(
+        pause ? "fabric.pause" : "fabric.resume", "congestion",
+        {"occ", static_cast<double>(occupancy_units())});
+  }
+  if (upstreams_ == nullptr) return;
+  // The pause frame travels one hop upstream: every channel feeding this
+  // port's switch gates (or resumes) its arbitration after the wire delay.
+  for (Channel* up : *upstreams_) {
+    sim_.schedule_in(config_.propagation_delay, [up, pause] {
+      if (pause) {
+        up->pause();
+      } else {
+        up->resume();
+      }
+    });
+  }
+}
+
+void Channel::check_xoff() {
+  const std::uint64_t cap = capacity_units();
+  if (cap == 0) return;
+  auto xoff = static_cast<std::uint64_t>(
+      config_.pfc_xoff * static_cast<double>(cap));
+  if (xoff == 0) xoff = 1;
+  if (occupancy_units() >= xoff) set_pause_upstream(true);
+}
+
+void Channel::check_xon() {
+  const std::uint64_t cap = capacity_units();
+  const auto xon = static_cast<std::uint64_t>(
+      config_.pfc_xon * static_cast<double>(cap));
+  if (occupancy_units() <= xon) set_pause_upstream(false);
 }
 
 Channel::Flow& Channel::flow_for(QpNum qp) {
@@ -135,17 +249,23 @@ void Channel::enqueue(detail::Packet pkt) {
     // wire, not the buffer, so capacity is checked against the backlog only.
     // A fault-injected buffer squeeze (shared-buffer pressure from outside
     // the simulated world) overrides the configured capacity.
-    const std::uint64_t occupancy = backlog_packets();
-    std::uint32_t capacity = config_.port_buffer_pkts;
-    if (fault_hook_ != nullptr) {
-      if (const std::uint32_t squeeze = fault_hook_->buffer_limit(*this);
-          squeeze > 0) {
-        capacity = squeeze;
-      }
+    const std::uint64_t occupancy = occupancy_units();
+    const std::uint64_t capacity = capacity_units();
+    // Every arrival observes the occupancy it found, admitted or not: a
+    // histogram over accepted packets only is biased low under loss.
+    if (occupancy_hist_ != nullptr) {
+      occupancy_hist_->observe(occupancy);
     }
     if (capacity > 0 && occupancy >= capacity) {
       ++buf_drops_;
-      if (buf_drops_total_ != nullptr) buf_drops_total_->add();
+      ++packets_dropped_;  // visible in the per-channel drop gauge too
+      if (buf_drops_total_ == nullptr) {
+        // A squeeze fault can drop on a fabric with no congestion configured
+        // (the gauges were never registered); resolve the aggregate lazily
+        // so those drops still surface in metrics snapshots.
+        buf_drops_total_ = &sim_.metrics().counter("fabric.buf_drops");
+      }
+      buf_drops_total_->add();
       if (sim_.tracer().enabled()) {
         sim_.tracer().instant(
             "fabric.buf_drop", "congestion",
@@ -154,10 +274,10 @@ void Channel::enqueue(detail::Packet pkt) {
       }
       return;  // tail-drop: the RC machinery recovers via NAK/RTO
     }
-    if (occupancy_hist_ != nullptr) {
-      occupancy_hist_->observe(occupancy);
-    }
-    if (!pkt.ecn && ecn_marker_.on_enqueue(occupancy)) {
+    // Marking is gated on a *configured* marker: a squeeze fault on a
+    // non-congestion run must drop, never mark — there is no controller to
+    // react and the default-constructed marker has no thresholds.
+    if (ecn_configured_ && !pkt.ecn && ecn_marker_.on_enqueue(occupancy)) {
       pkt.ecn = true;
       ++ecn_marks_;
       if (ecn_marks_total_ != nullptr) ecn_marks_total_->add();
@@ -177,8 +297,12 @@ void Channel::enqueue(detail::Packet pkt) {
     sim_.tracer().counter(name_.c_str(), "backlog",
                           static_cast<double>(backlog_packets() + 1));
   }
+  backlog_bytes_ += pkt.bytes;
+  if (pool_ != nullptr) pool_->acquire(pkt.bytes);
   flow_for(pkt.transfer->src_qp->num()).packets.push_back(std::move(pkt));
-  if (!busy_) try_start();
+  // XOFF is evaluated on the post-admission occupancy (this packet counts).
+  if (pfc_on_ && !pfc_asserted_) check_xoff();
+  if (!busy_ && pause_refs_ == 0) try_start();
 }
 
 std::uint64_t Channel::backlog_packets() const noexcept {
@@ -202,7 +326,10 @@ void Channel::arm_rate_timer() {
 }
 
 void Channel::try_start() {
-  if (busy_) return;
+  // A PFC-paused channel holds everything: pause frames gate the whole
+  // port's arbitration, not single flows — that is exactly the head-of-line
+  // blocking PFC is known for.
+  if (busy_ || pause_refs_ > 0) return;
   const std::size_t n = flows_.size();
   if (n == 0) return;
   // Weighted round-robin with per-flow token buckets: starting at the
@@ -222,6 +349,10 @@ void Channel::try_start() {
 
     detail::Packet pkt = std::move(f.packets.front());
     f.packets.pop_front();
+    backlog_bytes_ -= std::min<std::uint64_t>(backlog_bytes_, pkt.bytes);
+    if (pool_ != nullptr) pool_->release(pkt.bytes);
+    // The departure may have drained this port below XON: resume upstreams.
+    if (pfc_asserted_) check_xon();
     if (f.rate_bytes_per_sec > 0.0) {
       f.tokens -= static_cast<double>(pkt.bytes);
     }

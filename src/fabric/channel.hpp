@@ -28,10 +28,12 @@ namespace resex::fabric {
 /// stay byte-identical at any --jobs.
 class EcnMarker {
  public:
-  EcnMarker(std::uint32_t kmin_pkts, std::uint32_t kmax_pkts) noexcept
-      : kmin_(kmin_pkts), kmax_(kmax_pkts) {}
+  /// Thresholds are in occupancy units: packets normally, bytes when the
+  /// port runs byte-based accounting (the caller scales by the MTU).
+  EcnMarker(std::uint64_t kmin_units, std::uint64_t kmax_units) noexcept
+      : kmin_(kmin_units), kmax_(kmax_units) {}
 
-  /// Decide for one packet that finds `occupancy` packets queued ahead of it.
+  /// Decide for one packet that finds `occupancy` units queued ahead of it.
   [[nodiscard]] bool on_enqueue(std::uint64_t occupancy) noexcept {
     if (kmax_ == 0) return false;
     if (occupancy >= kmax_) return true;
@@ -46,9 +48,42 @@ class EcnMarker {
   }
 
  private:
-  std::uint32_t kmin_;
-  std::uint32_t kmax_;
+  std::uint64_t kmin_;
+  std::uint64_t kmax_;
   double accum_ = 0.0;
+};
+
+/// Shared egress buffer of one switch with Choudhury-Hahne dynamic
+/// thresholds: every port of the switch admits a packet only while its own
+/// occupancy is below `alpha * (free pool bytes)`. Ports acquire on accept
+/// and release when the packet wins arbitration (it then occupies the wire,
+/// not the buffer). Owned by the Fabric, one per switch.
+class SwitchBufferPool {
+ public:
+  SwitchBufferPool(std::uint64_t capacity_bytes, double alpha) noexcept
+      : capacity_(capacity_bytes), alpha_(alpha) {}
+
+  void acquire(std::uint64_t bytes) noexcept { occupied_ += bytes; }
+  void release(std::uint64_t bytes) noexcept {
+    occupied_ = occupied_ >= bytes ? occupied_ - bytes : 0;
+  }
+  [[nodiscard]] std::uint64_t occupied() const noexcept { return occupied_; }
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+  /// Per-port admission limit right now, in bytes. Never 0: a full pool
+  /// still reports a 1-byte threshold, because 0 means "infinite" to the
+  /// admission check.
+  [[nodiscard]] std::uint64_t threshold() const noexcept {
+    const std::uint64_t free =
+        occupied_ < capacity_ ? capacity_ - occupied_ : 0;
+    const auto t = static_cast<std::uint64_t>(
+        alpha_ * static_cast<double>(free));
+    return t > 0 ? t : 1;
+  }
+
+ private:
+  std::uint64_t capacity_;
+  double alpha_;
+  std::uint64_t occupied_ = 0;
 };
 
 class Channel {
@@ -109,18 +144,42 @@ class Channel {
   // --- switch congestion (resex::congestion) -------------------------------
 
   /// Mark this channel as a switch egress port: finite buffering
-  /// (config.port_buffer_pkts) and ECN marking (ecn_kmin/kmax_pkts) apply
+  /// (config.port_buffer_pkts / port_buffer_bytes, or `pool`'s dynamic
+  /// threshold), ECN marking (ecn_kmin/kmax_pkts) and PFC pausing apply
   /// here. Called by the Fabric for host downlinks and trunks — a host
   /// uplink is the sender's own transmit queue and is never a switch port.
-  /// Registers the congestion gauges lazily, only when congestion is actually
-  /// configured, so default runs export exactly the metrics they always did.
-  void configure_switch_port();
+  /// `upstreams` names the channels feeding this port's switch — the targets
+  /// of PFC pause frames; both pointers must stay valid for the channel's
+  /// lifetime (the Fabric owns them). Registers the congestion gauges
+  /// lazily, only when congestion is actually configured, so default runs
+  /// export exactly the metrics they always did.
+  void configure_switch_port(SwitchBufferPool* pool = nullptr,
+                             const std::vector<Channel*>* upstreams = nullptr);
   [[nodiscard]] bool switch_port() const noexcept { return switch_port_; }
   /// Packets tail-dropped at enqueue because the port buffer was full.
   [[nodiscard]] std::uint64_t buf_drops() const noexcept { return buf_drops_; }
   /// Packets ECN-marked at this port.
   [[nodiscard]] std::uint64_t ecn_marks() const noexcept { return ecn_marks_; }
+  /// Bytes queued but not yet on the wire (byte-mode occupancy).
+  [[nodiscard]] std::uint64_t backlog_bytes() const noexcept {
+    return backlog_bytes_;
+  }
   [[nodiscard]] const FabricConfig& config() const noexcept { return config_; }
+
+  // --- PFC (lossless per-hop flow control) ---------------------------------
+
+  /// One downstream switch port asserted XOFF against this channel: stop
+  /// granting packets until the matching resume(). Counted, not boolean —
+  /// several downstream ports may pause the same feeder concurrently.
+  void pause();
+  void resume();
+  [[nodiscard]] bool paused() const noexcept { return pause_refs_ > 0; }
+  /// Pause frames this port has sent upstream (XOFF assertions).
+  [[nodiscard]] std::uint64_t pauses_sent() const noexcept {
+    return pauses_sent_;
+  }
+  /// Cumulative time this channel spent paused (open interval included).
+  [[nodiscard]] sim::SimDuration paused_time() const noexcept;
 
  private:
   struct Flow {
@@ -137,6 +196,17 @@ class Channel {
 
   Flow& flow_for(QpNum qp);
   void try_start();
+  /// Current occupancy in this port's accounting unit (bytes or packets).
+  [[nodiscard]] std::uint64_t occupancy_units() const noexcept;
+  /// Effective admission capacity in occupancy units (0 = infinite):
+  /// the pool's dynamic threshold, or the fixed per-port cap, overridden by
+  /// a fault-injected squeeze (denominated in packets, scaled in byte mode).
+  [[nodiscard]] std::uint64_t capacity_units();
+  /// Check the XOFF threshold after an admission / XON after a departure.
+  void check_xoff();
+  void check_xon();
+  /// Flip this port's pause assertion and propagate it one hop upstream.
+  void set_pause_upstream(bool pause);
   /// Refill `f`'s bucket to the current time; true if it may send `bytes`.
   bool may_send(Flow& f, std::uint32_t bytes);
   /// Earliest time the rate-limited flow could send its head packet.
@@ -163,12 +233,26 @@ class Channel {
   // Switch-port congestion state (inert unless configure_switch_port ran
   // with congestion configured — the enqueue fast path only tests a bool).
   bool switch_port_ = false;
+  bool ecn_configured_ = false;  // marker thresholds actually installed
+  bool byte_mode_ = false;       // occupancy accounted in bytes, not packets
+  bool pfc_on_ = false;
   EcnMarker ecn_marker_{0, 0};
+  SwitchBufferPool* pool_ = nullptr;
+  const std::vector<Channel*>* upstreams_ = nullptr;
+  std::uint64_t backlog_bytes_ = 0;
   std::uint64_t buf_drops_ = 0;
   std::uint64_t ecn_marks_ = 0;
+  // PFC: pause assertions received (as a feeder) and sent (as a port).
+  std::uint32_t pause_refs_ = 0;
+  bool pfc_asserted_ = false;  // this port currently pauses its upstreams
+  sim::SimTime paused_since_ = 0;
+  sim::SimDuration paused_time_ = 0;
+  std::uint64_t pauses_sent_ = 0;
   obs::Counter* buf_drops_total_ = nullptr;   // fabric-wide aggregate
   obs::Counter* ecn_marks_total_ = nullptr;   // fabric-wide aggregate
-  obs::Histogram* occupancy_hist_ = nullptr;  // fabric-wide, pkts at enqueue
+  obs::Counter* pauses_total_ = nullptr;      // fabric-wide aggregate
+  obs::Histogram* occupancy_hist_ = nullptr;  // fabric-wide, at enqueue
+  obs::Histogram* pause_dur_hist_ = nullptr;  // fabric-wide, per pause spell
 };
 
 }  // namespace resex::fabric

@@ -23,6 +23,10 @@ class CongestionHook {
   /// whether this mark warrants a CNP (it paces per-flow) and how hard to
   /// cut the sender's rate.
   virtual void on_marked_arrival(QueuePair& src_qp) = 0;
+  /// `qp` took a fatal transport error (retry budget exhausted, flush): the
+  /// hook must forget any per-flow state keyed on it — pending timers must
+  /// not touch a torn-down flow. Default: nothing to forget.
+  virtual void on_qp_error(QueuePair& /*qp*/) {}
 };
 
 }  // namespace resex::fabric

@@ -20,9 +20,10 @@ Hca::Hca(Fabric& fabric, hv::Node& node, std::uint32_t hca_id)
   uplink_->set_sink(
       [this](detail::Packet p) { fabric_->route_from(*this, std::move(p)); });
   downlink_->set_sink([this](detail::Packet p) { on_packet(std::move(p)); });
-  // The downlink is a switch egress port (finite buffer + ECN apply there);
-  // the uplink is this HCA's own transmit queue and never drops.
-  downlink_->configure_switch_port();
+  // The downlink is a switch egress port (finite buffer, ECN and PFC apply
+  // there); the uplink is this HCA's own transmit queue and never drops.
+  // Fabric::add_node configures the downlink as a switch port — the switch
+  // it belongs to (whose pool and feeders it needs) is unknown here.
   // Fabric-wide aggregates (same entries for every HCA on this simulation),
   // resolved once so the data path only touches raw counters.
   auto& metrics = sim.metrics();
@@ -309,6 +310,11 @@ void Hca::fail_qp(detail::Transfer& t, CqeStatus status) {
                       {"qp", static_cast<double>(origin->num())},
                       {"status", static_cast<double>(
                                      static_cast<std::uint8_t>(status))});
+  // The congestion controller must drop its per-flow state (timers, rate
+  // cap) for a dead QP — its references would dangle otherwise.
+  if (fabric_->congestion_hook() != nullptr) {
+    fabric_->congestion_hook()->on_qp_error(*origin);
+  }
   complete_send(t, status);
 }
 
@@ -559,7 +565,42 @@ Fabric::Fabric(sim::Simulation& sim, FabricConfig config)
     throw std::invalid_argument(
         "Fabric: ECN thresholds require 1 <= kmin <= kmax");
   }
+  if (config_.switch_pool_bytes > 0 && config_.pool_alpha <= 0.0) {
+    throw std::invalid_argument("Fabric: pool_alpha must be > 0");
+  }
+  if (config_.pfc_enabled) {
+    if (!config_.lossy()) {
+      throw std::invalid_argument(
+          "Fabric: PFC requires finite switch buffers");
+    }
+    if (!(config_.pfc_xon > 0.0) || config_.pfc_xon > config_.pfc_xoff ||
+        config_.pfc_xoff > 1.0) {
+      throw std::invalid_argument(
+          "Fabric: PFC thresholds require 0 < xon <= xoff <= 1");
+    }
+  }
   switch_hops_ = &sim_.metrics().counter("fabric.switch_hops");
+}
+
+SwitchBufferPool* Fabric::switch_pool(std::uint32_t sw) {
+  if (config_.switch_pool_bytes == 0) return nullptr;
+  if (pools_.size() <= sw) pools_.resize(sw + 1);
+  if (!pools_[sw]) {
+    pools_[sw] = std::make_unique<SwitchBufferPool>(config_.switch_pool_bytes,
+                                                    config_.pool_alpha);
+    sim_.metrics().gauge_fn(
+        "fabric.sw" + std::to_string(sw) + ".pool_occupied_bytes",
+        [p = pools_[sw].get()] {
+          return static_cast<double>(p->occupied());
+        });
+  }
+  return pools_[sw].get();
+}
+
+std::vector<Channel*>* Fabric::switch_feeders(std::uint32_t sw) {
+  if (feeders_.size() <= sw) feeders_.resize(sw + 1);
+  if (!feeders_[sw]) feeders_[sw] = std::make_unique<std::vector<Channel*>>();
+  return feeders_[sw].get();
 }
 
 Hca& Fabric::add_node(hv::Node& node) { return add_node(node, 0); }
@@ -571,7 +612,15 @@ Hca& Fabric::add_node(hv::Node& node, std::uint32_t switch_id) {
   hcas_.push_back(std::make_unique<Hca>(
       *this, node, static_cast<std::uint32_t>(hcas_.size())));
   hca_switch_.push_back(switch_id);
-  return *hcas_.back();
+  Hca& h = *hcas_.back();
+  // The downlink is an egress port of `switch_id`: its admission control may
+  // draw on the switch's shared pool, and its PFC pause frames target every
+  // channel feeding that switch. The uplink, as one of those feeders, is
+  // what a pause from this switch gates.
+  h.downlink().configure_switch_port(switch_pool(switch_id),
+                                     switch_feeders(switch_id));
+  switch_feeders(switch_id)->push_back(&h.uplink());
+  return h;
 }
 
 std::uint32_t Fabric::add_switch() { return switch_count_++; }
@@ -596,7 +645,13 @@ void Fabric::add_trunk(std::uint32_t a, std::uint32_t b,
         "sw" + std::to_string(from) + "->sw" + std::to_string(to));
     t->channel->set_sink(
         [this, to](detail::Packet p) { hop(to, std::move(p)); });
-    t->channel->configure_switch_port();
+    // A trunk is an egress port of `from` (pool and pause targets are
+    // from's) and at the same time a feeder of `to` — the channel a pause
+    // from `to`'s congested ports gates. That dual role is how PFC
+    // congestion trees spread across the fabric.
+    t->channel->configure_switch_port(switch_pool(from),
+                                      switch_feeders(from));
+    switch_feeders(to)->push_back(t->channel.get());
     if (fault_hook_ != nullptr) t->channel->set_fault_hook(fault_hook_);
     t->from = from;
     t->to = to;

@@ -256,6 +256,14 @@ class Fabric {
     std::uint32_t to = 0;
   };
 
+  /// The shared buffer pool of switch `sw` (nullptr unless
+  /// config.switch_pool_bytes is set; created lazily, stable address).
+  [[nodiscard]] SwitchBufferPool* switch_pool(std::uint32_t sw);
+  /// The channels feeding switch `sw` — host uplinks of its HCAs plus
+  /// incoming trunks: the targets of PFC pause frames sent by `sw`'s egress
+  /// ports. Heap-allocated so the pointer handed to ports stays stable.
+  [[nodiscard]] std::vector<Channel*>* switch_feeders(std::uint32_t sw);
+
   /// An uplink handed the switch fabric a packet: hop it from the source
   /// HCA's switch towards the destination HCA.
   void route_from(const Hca& src, detail::Packet pkt);
@@ -273,6 +281,8 @@ class Fabric {
   std::uint32_t switch_count_ = 1;
   std::vector<std::uint32_t> hca_switch_;  // hca id -> switch id
   std::vector<std::unique_ptr<Trunk>> trunks_;
+  std::vector<std::unique_ptr<SwitchBufferPool>> pools_;         // per switch
+  std::vector<std::unique_ptr<std::vector<Channel*>>> feeders_;  // per switch
   std::unordered_map<std::uint64_t, Channel*> trunk_by_pair_;
   std::unordered_map<std::uint64_t, std::uint32_t> routes_;  // (at,dst)->via
   obs::Counter* switch_hops_ = nullptr;

@@ -168,11 +168,40 @@ struct FabricConfig {
   std::uint32_t ecn_kmin_pkts = 0;
   std::uint32_t ecn_kmax_pkts = 0;
 
+  // --- lossless mode / shared buffering (resex::congestion, PFC) -----------
+  /// Per-port egress buffer capacity in *bytes* (0 = use port_buffer_pkts).
+  /// Setting it switches the port to byte-based occupancy accounting; the
+  /// packet-denominated ECN thresholds and squeeze faults are scaled by the
+  /// MTU so they keep their meaning under either accounting.
+  std::uint64_t port_buffer_bytes = 0;
+  /// Shared per-switch buffer pool in bytes (0 = per-port buffers only).
+  /// When set, each port's admission limit is the dynamic threshold
+  /// `pool_alpha * (free pool bytes)` — Choudhury-Hahne dynamic thresholds —
+  /// *replacing* any fixed per-port cap; occupancy accounting is in bytes.
+  std::uint64_t switch_pool_bytes = 0;
+  /// Dynamic-threshold scale factor for the shared pool.
+  double pool_alpha = 1.0;
+  /// PFC-style lossless mode: when a switch port's egress occupancy crosses
+  /// pfc_xoff * capacity, it sends pause frames one hop upstream (to every
+  /// channel feeding its switch, arriving after the propagation delay) that
+  /// gate the upstream ports' arbitration; at pfc_xon * capacity it resumes
+  /// them. Requires finite buffering (lossy() must hold).
+  bool pfc_enabled = false;
+  double pfc_xoff = 0.60;
+  double pfc_xon = 0.30;
+
+  /// True iff switch-port occupancy is accounted in bytes (a byte cap or a
+  /// shared pool is configured) rather than packets.
+  [[nodiscard]] bool byte_occupancy() const noexcept {
+    return port_buffer_bytes > 0 || switch_pool_bytes > 0;
+  }
   /// True iff switch buffers are finite (packets can be tail-dropped).
-  [[nodiscard]] bool lossy() const noexcept { return port_buffer_pkts > 0; }
-  /// True iff any congestion mechanism (drop or mark) is configured.
+  [[nodiscard]] bool lossy() const noexcept {
+    return port_buffer_pkts > 0 || byte_occupancy();
+  }
+  /// True iff any congestion mechanism (drop, mark or pause) is configured.
   [[nodiscard]] bool congestion_enabled() const noexcept {
-    return port_buffer_pkts > 0 || ecn_kmax_pkts > 0;
+    return lossy() || ecn_kmax_pkts > 0;
   }
 
   [[nodiscard]] double ns_per_byte() const noexcept {

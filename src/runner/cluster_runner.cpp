@@ -20,6 +20,14 @@ std::vector<ClusterOutcome> run_cluster(std::vector<ClusterPoint> points,
       p.config.congestion.ecn_kmin = opts.ecn_kmin;
       p.config.congestion.ecn_kmax = opts.ecn_kmax;
       p.config.congestion.rate_control = opts.ecn_kmax > 0;
+      if (opts.pool_alpha > 0.0) {
+        // --pool-alpha reinterprets --buf-bytes as the shared pool size.
+        p.config.congestion.pool_bytes = opts.buf_bytes;
+        p.config.congestion.pool_alpha = opts.pool_alpha;
+      } else {
+        p.config.congestion.buffer_bytes = opts.buf_bytes;
+      }
+      p.config.congestion.pfc = opts.pfc;
     }
   }
   const std::size_t seeds = opts.seeds == 0 ? 1 : opts.seeds;

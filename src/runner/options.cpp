@@ -98,6 +98,21 @@ RunnerOptions parse_options(int argc, const char* const* argv) {
       opts.ecn_kmin = static_cast<std::uint32_t>(parse_u64(arg, take_value()));
     } else if (arg == "--ecn-kmax") {
       opts.ecn_kmax = static_cast<std::uint32_t>(parse_u64(arg, take_value()));
+    } else if (arg == "--buf-bytes") {
+      opts.buf_bytes = parse_u64(arg, take_value());
+      if (opts.buf_bytes == 0) {
+        throw std::invalid_argument("--buf-bytes: must be >= 1");
+      }
+    } else if (arg == "--pool-alpha") {
+      opts.pool_alpha = parse_f64(arg, take_value());
+      if (opts.pool_alpha <= 0.0) {
+        throw std::invalid_argument("--pool-alpha: must be > 0");
+      }
+    } else if (arg == "--pfc") {
+      if (has_inline_value) {
+        throw std::invalid_argument("--pfc: takes no value");
+      }
+      opts.pfc = true;
     } else {
       throw std::invalid_argument("unknown option '" + std::string(arg) +
                                   "' (see --help)");
@@ -112,6 +127,14 @@ RunnerOptions parse_options(int argc, const char* const* argv) {
   }
   if (opts.ecn_kmin > 0 && opts.ecn_kmax == 0) {
     throw std::invalid_argument("--ecn-kmin: requires --ecn-kmax");
+  }
+  if (opts.pool_alpha > 0.0 && opts.buf_bytes == 0) {
+    throw std::invalid_argument(
+        "--pool-alpha: requires --buf-bytes (the shared pool size)");
+  }
+  if (opts.pfc && opts.buf_pkts == 0 && opts.buf_bytes == 0) {
+    throw std::invalid_argument(
+        "--pfc: requires finite buffers (--buf-pkts or --buf-bytes)");
   }
   return opts;
 }
@@ -142,6 +165,13 @@ void print_usage(std::ostream& os, const std::string& prog) {
      << "  --ecn-kmin N        ECN marking lower threshold, in packets\n"
      << "  --ecn-kmax N        ECN marking upper threshold; setting it turns\n"
      << "              on marking and DCQCN-style per-QP rate control\n"
+     << "  --buf-bytes N       finite switch buffers in bytes (byte-based\n"
+     << "              occupancy). Per-port, unless --pool-alpha makes it\n"
+     << "              the shared per-switch pool size.\n"
+     << "  --pool-alpha A      shared-pool dynamic thresholds: each port\n"
+     << "              admits up to A * free-pool bytes (needs --buf-bytes)\n"
+     << "  --pfc               PFC-style lossless pause/resume instead of\n"
+     << "              tail-drop (needs --buf-pkts or --buf-bytes)\n"
      << "Per-trial results are byte-identical for any --jobs value.\n";
 }
 

@@ -12,6 +12,10 @@
 //   --buf-pkts N         finite per-port switch buffers, in packets (0 = off)
 //   --ecn-kmin N         ECN marking lower threshold, packets (needs --ecn-kmax)
 //   --ecn-kmax N         ECN marking upper threshold; enables DCQCN rate control
+//   --buf-bytes N        finite switch buffers in bytes (byte occupancy mode)
+//   --pool-alpha A       shared per-switch pool: --buf-bytes becomes the pool
+//                        size, ports admit alpha * free-pool bytes each
+//   --pfc                PFC-style lossless pause/resume (needs finite buffers)
 // Results are byte-identical for any --jobs value; only wall-clock changes.
 
 #include <cstddef>
@@ -48,11 +52,20 @@ struct RunnerOptions {
   /// runner turns on DCQCN rate control). Requires 1 <= kmin <= kmax.
   std::uint32_t ecn_kmin = 0;
   std::uint32_t ecn_kmax = 0;
+  /// Finite switch buffers in bytes (byte-based occupancy accounting).
+  /// Per-port by default; with --pool-alpha it becomes the shared per-switch
+  /// pool size instead. 0 = packet-denominated buffers (--buf-pkts) only.
+  std::uint64_t buf_bytes = 0;
+  /// Dynamic-threshold alpha for the shared per-switch pool. > 0 turns the
+  /// pool on (requires --buf-bytes); 0 = per-port buffers.
+  double pool_alpha = 0.0;
+  /// PFC-style lossless pause/resume (requires finite buffers).
+  bool pfc = false;
   bool help = false;
 
   /// True when any congestion knob was set on the command line.
   [[nodiscard]] bool congestion_set() const {
-    return buf_pkts > 0 || ecn_kmax > 0;
+    return buf_pkts > 0 || ecn_kmax > 0 || buf_bytes > 0;
   }
 
   /// The worker count actually used: jobs, or hardware concurrency (>= 1).

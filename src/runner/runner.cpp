@@ -17,6 +17,14 @@ std::vector<PointOutcome> run_sweep(std::vector<SweepPoint> points,
       p.config.congestion.ecn_kmax = opts.ecn_kmax;
       // Marking without reaction just loses information; the CLI pairs them.
       p.config.congestion.rate_control = opts.ecn_kmax > 0;
+      if (opts.pool_alpha > 0.0) {
+        // --pool-alpha reinterprets --buf-bytes as the shared pool size.
+        p.config.congestion.pool_bytes = opts.buf_bytes;
+        p.config.congestion.pool_alpha = opts.pool_alpha;
+      } else {
+        p.config.congestion.buffer_bytes = opts.buf_bytes;
+      }
+      p.config.congestion.pfc = opts.pfc;
     }
   }
   ThreadPool pool(opts.resolved_jobs());

@@ -327,6 +327,150 @@ TEST(Congestion, SqueezeFaultDropsOnMatchingPortDuringWindowOnly) {
   EXPECT_EQ(late.congested_port().buf_drops(), 0u);
 }
 
+// --- congestion-path accounting regressions ----------------------------------
+
+TEST(Congestion, SqueezeWithoutCongestionDropsWithoutMarkingAndSurfacesMetric) {
+  // A buffer squeeze on a fabric with *no* congestion configured: the port
+  // must tail-drop (that is the fault), but it must never ECN-mark — there
+  // is no marker configured and no controller to react — and the drops must
+  // still show up in the fabric-wide metric even though the congestion
+  // gauges were never registered.
+  IncastWorld w(4, CongestionConfig{});
+  fault::FaultInjector injector(
+      fault::FaultPlan::parse("squeeze=0:50:4:n0/down"), 42);
+  injector.arm(*w.fabric);
+  std::vector<std::vector<Cqe>> cqes(4);
+  std::vector<std::vector<SimTime>> times(4);
+  for (int i = 0; i < 4; ++i) {
+    w.sim.spawn(send_many(w.sources[static_cast<std::size_t>(i)],
+                          w.sinks[static_cast<std::size_t>(i)], 20, 16 * 1024,
+                          cqes[static_cast<std::size_t>(i)],
+                          times[static_cast<std::size_t>(i)]));
+  }
+  w.sim.run();
+  auto& port = w.congested_port();
+  ASSERT_GT(port.buf_drops(), 0u);
+  EXPECT_EQ(port.ecn_marks(), 0u);
+  EXPECT_EQ(w.sim.metrics().counter("fabric.ecn_marks").value(), 0u);
+  EXPECT_EQ(w.sim.metrics().counter("fabric.buf_drops").value(),
+            port.buf_drops());
+}
+
+TEST(Congestion, TailDropsCountInPacketsDroppedAndOccupancySeesEveryArrival) {
+  // Tail drops are packet drops: the per-channel packets_dropped counter
+  // (the one the fault layer and the gauges export) must include them, and
+  // the occupancy histogram must observe the occupancy every arrival found —
+  // admitted or dropped — or the distribution is biased low under loss.
+  IncastWorld w(4, taildrop_config(16));
+  std::vector<std::vector<Cqe>> cqes(4);
+  std::vector<std::vector<SimTime>> times(4);
+  for (int i = 0; i < 4; ++i) {
+    w.sim.spawn(send_many(w.sources[static_cast<std::size_t>(i)],
+                          w.sinks[static_cast<std::size_t>(i)], 20, 16 * 1024,
+                          cqes[static_cast<std::size_t>(i)],
+                          times[static_cast<std::size_t>(i)]));
+  }
+  w.sim.run();
+  auto& port = w.congested_port();
+  ASSERT_GT(port.buf_drops(), 0u);
+  EXPECT_EQ(port.packets_dropped(), port.buf_drops());
+  // All switch ports share the fabric-wide histogram, and a drained run has
+  // admitted == sent: the sample count is exactly arrivals = sent + dropped.
+  std::uint64_t arrivals = 0;
+  for (auto* hca : w.hcas) {
+    arrivals += hca->downlink().packets_sent() + hca->downlink().buf_drops();
+  }
+  EXPECT_EQ(
+      w.sim.metrics().histogram("fabric.port_occupancy_pkts").count(),
+      arrivals);
+}
+
+TEST(Congestion, QpErrorClearsRateCapAndForgetsFlowMidEpisode) {
+  // Destroying a capped flow mid-episode: on_qp_error must clear the uplink
+  // limiter, cancel the recovery timers and erase the flow. The armed timers
+  // then fire as no-ops (they re-look the flow up by QpNum) instead of
+  // touching freed Flow state — ASan catches the pre-fix dangling reference.
+  CongestionConfig congestion;
+  congestion.buffer_pkts = 8;
+  congestion.ecn_kmin = 1;
+  congestion.ecn_kmax = 2;
+  congestion.rate_control = true;
+  IncastWorld w(4, congestion);
+  RateController ctrl(*w.fabric, congestion.dcqcn);
+  std::vector<std::vector<Cqe>> cqes(4);
+  std::vector<std::vector<SimTime>> times(4);
+  for (int i = 0; i < 4; ++i) {
+    w.sim.spawn(send_many(w.sources[static_cast<std::size_t>(i)],
+                          w.sinks[static_cast<std::size_t>(i)], 60, 16 * 1024,
+                          cqes[static_cast<std::size_t>(i)],
+                          times[static_cast<std::size_t>(i)]));
+  }
+  // Run until at least one sender is capped (harsh marking guarantees it
+  // quickly), then error that QP while its recovery timers are armed.
+  fabric::QueuePair* victim = nullptr;
+  for (int tick = 1; tick <= 50 && victim == nullptr; ++tick) {
+    w.sim.run_until(static_cast<SimTime>(tick) * 100 * sim::kMicrosecond);
+    for (const auto& src : w.sources) {
+      if (ctrl.current_rate(src.qp->num()) > 0.0) {
+        victim = src.qp;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(victim, nullptr) << "no sender was ever rate-capped";
+  auto& uplink = victim->hca().uplink();
+  ASSERT_GT(uplink.flow_rate_limit(victim->num()), 0.0);
+  ctrl.on_qp_error(*victim);
+  EXPECT_EQ(ctrl.current_rate(victim->num()), 0.0);
+  EXPECT_EQ(uplink.flow_rate_limit(victim->num()), 0.0);
+  ctrl.on_qp_error(*victim);  // a second teardown of the same QP is a no-op
+  // Drain the run: the cancelled/orphaned timers must not resurrect the
+  // flow or crash, and the remaining senders finish normally.
+  w.sim.run();
+  EXPECT_EQ(ctrl.current_rate(victim->num()), 0.0);
+}
+
+TEST(Congestion, RetryExhaustionUnderRateControlTearsDownTheFlow) {
+  // End-to-end teardown path: a capped sender's link flaps for longer than
+  // the whole retry ladder, the transport errors the QP, and fail_qp must
+  // notify the controller — the dead flow's uplink cap is removed and its
+  // timers never fire into freed state.
+  CongestionConfig congestion;
+  congestion.buffer_pkts = 8;
+  congestion.ecn_kmin = 1;
+  congestion.ecn_kmax = 2;
+  congestion.rate_control = true;
+  IncastWorld w(4, congestion);
+  RateController ctrl(*w.fabric, congestion.dcqcn);
+  // n1's uplink dies at 3 ms for 10 s: long past the backoff ladder.
+  fault::FaultInjector injector(
+      fault::FaultPlan::parse("flap=3:10000:n1/up"), 42);
+  injector.arm(*w.fabric);
+  std::vector<std::vector<Cqe>> cqes(4);
+  std::vector<std::vector<SimTime>> times(4);
+  for (int i = 0; i < 4; ++i) {
+    w.sim.spawn(send_many(w.sources[static_cast<std::size_t>(i)],
+                          w.sinks[static_cast<std::size_t>(i)], 200, 16 * 1024,
+                          cqes[static_cast<std::size_t>(i)],
+                          times[static_cast<std::size_t>(i)]));
+  }
+  w.sim.run();
+  // Source 0 lives on n1 (IncastWorld numbers senders from n1): it must
+  // have died with the flap...
+  fabric::QueuePair& dead = *w.sources[0].qp;
+  EXPECT_EQ(dead.state(), fabric::QpState::kError);
+  // ...and the controller must have forgotten it: no residual cap on the
+  // uplink, no flow state left behind.
+  EXPECT_EQ(ctrl.current_rate(dead.num()), 0.0);
+  EXPECT_EQ(dead.hca().uplink().flow_rate_limit(dead.num()), 0.0);
+  // The surviving senders completed every WR.
+  for (std::size_t i = 1; i < 4; ++i) {
+    for (const auto& cqe : cqes[i]) {
+      EXPECT_EQ(cqe.status, static_cast<std::uint8_t>(CqeStatus::kSuccess));
+    }
+  }
+}
+
 // --- cluster pricing ---------------------------------------------------------
 
 TEST(Congestion, ExchangeBlendsCongestionIntoPriceAndAvoidsHotNodes) {

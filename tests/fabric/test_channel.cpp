@@ -307,8 +307,12 @@ TEST(EcnMarkerProperty, NeverMarksBelowKminAlwaysMarksAtOrAboveKmax) {
   for (std::uint64_t i = 0; i < 10000; ++i) {
     const std::uint64_t occ = (i * 7919) % 20;  // deterministic sweep 0..19
     const bool marked = marker.on_enqueue(occ);
-    if (occ < 4) EXPECT_FALSE(marked) << "occ=" << occ;
-    if (occ >= 12) EXPECT_TRUE(marked) << "occ=" << occ;
+    if (occ < 4) {
+      EXPECT_FALSE(marked) << "occ=" << occ;
+    }
+    if (occ >= 12) {
+      EXPECT_TRUE(marked) << "occ=" << occ;
+    }
   }
 }
 

@@ -129,5 +129,79 @@ TEST(FabricSpans, EveryCrossSwitchPacketLeavesHopInstants) {
       hops.size());
 }
 
+TEST(FabricSpans, PfcPausesLeaveInstantsAndCompleteSpans) {
+  // Two senders incast one receiver through a tiny lossless port: the
+  // receiver downlink must assert XOFF ("fabric.pause" instant), later
+  // release it ("fabric.resume"), and every completed pause episode on a
+  // feeder must appear as a "fabric.paused" complete span whose durations
+  // sum to exactly the feeders' accounted paused time.
+  sim::Simulation sim;
+  sim.tracer().enable(1 << 16);
+  hv::Node node_a{sim, "A", 8};
+  hv::Node node_b{sim, "B", 8};
+  hv::Node node_c{sim, "C", 8};
+  auto cfg = fabric::testing::test_config();
+  cfg.port_buffer_pkts = 8;
+  cfg.pfc_enabled = true;
+  fabric::Fabric fab(sim, cfg);
+  fabric::Hca& hca_a = fab.add_node(node_a);
+  fabric::Hca& hca_b = fab.add_node(node_b);
+  fabric::Hca& hca_c = fab.add_node(node_c);
+
+  Endpoint src_a = make_endpoint_on(node_a, hca_a, "vmA");
+  Endpoint src_b = make_endpoint_on(node_b, hca_b, "vmB");
+  Endpoint dst_a = make_endpoint_on(node_c, hca_c, "vmCa");
+  Endpoint dst_b = make_endpoint_on(node_c, hca_c, "vmCb");
+  fabric::Fabric::connect(*src_a.qp, *dst_a.qp);
+  fabric::Fabric::connect(*src_b.qp, *dst_b.qp);
+  dst_a.qp->post_recv(fabric::RecvWr{.wr_id = 1});
+  dst_b.qp->post_recv(fabric::RecvWr{.wr_id = 2});
+  sim.schedule_at(0, [&] {
+    hca_a.post_send(*src_a.qp, write_wr(src_a, dst_a, 48 * 1024));
+    hca_b.post_send(*src_b.qp, write_wr(src_b, dst_b, 48 * 1024));
+  });
+  sim.run_until(50 * sim::kMillisecond);
+
+  const auto pauses = events_named(sim.tracer(), "fabric.pause");
+  const auto resumes = events_named(sim.tracer(), "fabric.resume");
+  ASSERT_FALSE(pauses.empty());
+  ASSERT_FALSE(resumes.empty());
+  for (const auto& ev : pauses) {
+    EXPECT_EQ(ev.phase, 'i');
+    EXPECT_STREQ(ev.category, "congestion");
+    // The instant carries the port occupancy that tripped (or released) the
+    // threshold; at XOFF assert time it cannot be empty.
+    EXPECT_GT(ev.a.value, 0.0);
+  }
+  for (const auto& ev : resumes) EXPECT_EQ(ev.phase, 'i');
+  // One instant per XOFF assertion, and the metrics layer agrees.
+  EXPECT_EQ(pauses.size(), hca_c.downlink().pauses_sent());
+  EXPECT_EQ(static_cast<std::size_t>(
+                sim.metrics().counter("fabric.pfc_pauses").value()),
+            pauses.size());
+  // Every pause was released once the incast drained.
+  EXPECT_EQ(pauses.size(), resumes.size());
+
+  const auto spans = events_named(sim.tracer(), "fabric.paused");
+  ASSERT_FALSE(spans.empty());
+  sim::SimDuration traced = 0;
+  for (const auto& ev : spans) {
+    EXPECT_EQ(ev.phase, 'X');
+    EXPECT_STREQ(ev.category, "congestion");
+    EXPECT_GT(ev.dur, 0);
+    traced += ev.dur;
+  }
+  // The spans are the feeders' pause episodes: their durations must add up
+  // to exactly the paused time the channels accounted (nothing left paused).
+  // A pause frame reaches *every* channel feeding the switch — including the
+  // receiver's own idle uplink — so sum all three.
+  EXPECT_FALSE(hca_a.uplink().paused());
+  EXPECT_FALSE(hca_b.uplink().paused());
+  EXPECT_FALSE(hca_c.uplink().paused());
+  EXPECT_EQ(traced, hca_a.uplink().paused_time() +
+                        hca_b.uplink().paused_time() +
+                        hca_c.uplink().paused_time());
+}
+
 }  // namespace
 }  // namespace resex::obs
