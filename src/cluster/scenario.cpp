@@ -161,15 +161,23 @@ ClusterScenarioResult run_cluster_scenario(
 
   // --- run -------------------------------------------------------------------
   std::vector<obs::MetricsSnapshot> series;
-  if (config.collect_metrics && config.metrics_period > 0) {
+  // As in core::run_experiment: with tracing on, the same loop streams every
+  // metric into the trace sink as counter tracks (--trace + --metrics-period
+  // puts the time series and the spans in one file).
+  const bool metrics_series = config.collect_metrics && config.metrics_period > 0;
+  if (metrics_series ||
+      (cluster.sim().tracer().enabled() && config.metrics_period > 0)) {
     cluster.sim().spawn(
         [](sim::Simulation& sim, sim::SimDuration period,
-           std::vector<obs::MetricsSnapshot>& out) -> sim::Task {
+           std::vector<obs::MetricsSnapshot>* out) -> sim::Task {
           for (;;) {
             co_await sim.delay(period);
-            out.push_back(sim.metrics().snapshot(sim.now()));
+            if (out != nullptr) {
+              out->push_back(sim.metrics().snapshot(sim.now()));
+            }
+            sim.metrics().emit_to_tracer(sim.tracer());
           }
-        }(cluster.sim(), config.metrics_period, series));
+        }(cluster.sim(), config.metrics_period, metrics_series ? &series : nullptr));
   }
   cluster.sim().run_until(config.warmup + config.duration);
 

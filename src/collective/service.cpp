@@ -1,0 +1,79 @@
+#include "collective/service.hpp"
+
+#include <stdexcept>
+
+namespace resex::collective {
+
+CollectiveService::CollectiveService(cluster::Cluster& cluster,
+                                     ServiceConfig config,
+                                     std::vector<std::uint32_t> placement)
+    : cluster_(&cluster), cfg_(config), placement_(std::move(placement)),
+      done_trigger_(cluster.sim()) {
+  if (placement_.size() != cfg_.collective.ranks) {
+    throw std::invalid_argument(
+        "CollectiveService: placement.size() != ranks");
+  }
+  for (const std::uint32_t node : placement_) {
+    if (node >= cluster_->node_count()) {
+      throw std::invalid_argument("CollectiveService: placement node out of "
+                                  "range");
+    }
+  }
+  if (cfg_.rounds == 0) {
+    throw std::invalid_argument("CollectiveService: rounds must be >= 1");
+  }
+}
+
+void CollectiveService::start() {
+  if (started_) {
+    throw std::logic_error("CollectiveService: already started");
+  }
+  started_ = true;
+  cluster_->sim().spawn(run());
+}
+
+void CollectiveService::migrate_rank(std::uint32_t rank, std::uint32_t node) {
+  if (rank >= cfg_.collective.ranks || node >= cluster_->node_count()) {
+    throw std::invalid_argument("CollectiveService: bad migration target");
+  }
+  pending_migrations_.emplace_back(rank, node);
+}
+
+sim::Task CollectiveService::run() {
+  auto& sim = cluster_->sim();
+  for (std::uint32_t round = 0; round < cfg_.rounds; ++round) {
+    for (const auto& [rank, node] : pending_migrations_) {
+      if (placement_[rank] != node) {
+        placement_[rank] = node;
+        ++migrations_;
+      }
+    }
+    pending_migrations_.clear();
+    std::vector<RankHome> homes(cfg_.collective.ranks);
+    for (std::uint32_t r = 0; r < cfg_.collective.ranks; ++r) {
+      homes[r] = RankHome{&cluster_->node(placement_[r]),
+                          &cluster_->hca(placement_[r])};
+    }
+    group_ = std::make_unique<CollectiveGroup>(sim, std::move(homes),
+                                               cfg_.collective);
+    group_->start();
+    if (!group_->done()) co_await group_->done_trigger().wait();
+    last_result_ = group_->result();
+    ++rounds_completed_;
+    // Retire the round's domains: the incarnation is over, so its PCPUs are
+    // free for the next round's placement (possibly on other nodes). The
+    // Domain objects stay alive — HCA rings and TPT entries never dangle.
+    for (std::uint32_t r = 0; r < cfg_.collective.ranks; ++r) {
+      cluster_->node(placement_[r])
+          .retire_domain(group_->rank_domain(r).id());
+    }
+    if (!last_result_.ok) break;
+    if (cfg_.inter_round_gap > 0 && round + 1 < cfg_.rounds) {
+      co_await sim.delay(cfg_.inter_round_gap);
+    }
+  }
+  done_ = true;
+  done_trigger_.fire();
+}
+
+}  // namespace resex::collective

@@ -195,14 +195,20 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
 
   // --- run --------------------------------------------------------------------
   std::vector<obs::MetricsSnapshot> series;
-  if (config.collect_metrics && config.metrics_period > 0) {
+  // The periodic snapshot loop also streams every registered metric into the
+  // trace sink as counter tracks, so --trace + --metrics-period lines the
+  // metric time series up under the spans in the same file.
+  const bool metrics_series = config.collect_metrics && config.metrics_period > 0;
+  if (metrics_series ||
+      (tb.sim().tracer().enabled() && config.metrics_period > 0)) {
     tb.sim().spawn([](sim::Simulation& sim, sim::SimDuration period,
-                      std::vector<obs::MetricsSnapshot>& out) -> sim::Task {
+                      std::vector<obs::MetricsSnapshot>* out) -> sim::Task {
       for (;;) {
         co_await sim.delay(period);
-        out.push_back(sim.metrics().snapshot(sim.now()));
+        if (out != nullptr) out->push_back(sim.metrics().snapshot(sim.now()));
+        sim.metrics().emit_to_tracer(sim.tracer());
       }
-    }(tb.sim(), config.metrics_period, series));
+    }(tb.sim(), config.metrics_period, metrics_series ? &series : nullptr));
   }
   tb.sim().run_until(config.warmup + config.duration);
 

@@ -316,6 +316,27 @@ void Hca::fail_qp(detail::Transfer& t, CqeStatus status) {
     fabric_->congestion_hook()->on_qp_error(*origin);
   }
   complete_send(t, status);
+  // A QP entering the error state flushes its receive queue too: without
+  // this, a consumer waiting on the receive CQ for a message the dead QP can
+  // no longer deliver would wedge forever (observed as a stuck step barrier
+  // in bulk-synchronous collectives under stall/flap faults). Flushed after
+  // the originating error completion so the root cause surfaces first.
+  flush_recv_queue(*origin);
+}
+
+void Hca::flush_recv_queue(QueuePair& qp) {
+  const auto& cfg = fabric_->config();
+  auto& sim = fabric_->simulation();
+  while (auto recv = qp.consume_recv()) {
+    wr_flushes_->add();
+    Cqe cqe;
+    cqe.wr_id = recv->wr_id;
+    cqe.qp_num = qp.num();
+    cqe.opcode = static_cast<std::uint8_t>(CqeOpcode::kRecv);
+    cqe.status = static_cast<std::uint8_t>(CqeStatus::kWrFlushError);
+    sim.schedule_in(cfg.completion_dma,
+                    [cq = &qp.recv_cq(), cqe] { cq->produce(cqe); });
+  }
 }
 
 void Hca::flush_send(QueuePair& qp, const SendWr& wr) {
@@ -386,6 +407,13 @@ void Hca::deliver(const std::shared_ptr<detail::Transfer>& t) {
   if (t->read_response) {
     // Response data arrived at the requester: local DMA done, complete.
     complete_send(*t, CqeStatus::kSuccess);
+    return;
+  }
+  if (t->dst_qp->state() == QpState::kError) {
+    // The target QP died (or was torn down) while this message was in
+    // flight: its receive queue is flushed, so an RNR loop would never
+    // resolve. The sender sees a remote-operation error instead.
+    complete_send(*t, CqeStatus::kRemoteOperationError);
     return;
   }
   switch (t->wr.opcode) {

@@ -84,6 +84,14 @@ class Hca {
   /// Incoming packet from the downlink.
   void on_packet(detail::Packet pkt);
 
+  /// Drain a QP's posted receive WQEs, completing each with kWrFlushError on
+  /// the receive CQ (what a real HCA does to the RQ when a QP enters the
+  /// error state). Called automatically by the transport when a QP dies, and
+  /// directly by applications tearing a group of QPs down: a consumer
+  /// blocked polling the receive CQ observes the flushes instead of waiting
+  /// forever for messages that can no longer arrive.
+  void flush_recv_queue(QueuePair& qp);
+
   /// Fault injection: delay WQE fetches (doorbell pickups) until `until`.
   /// Models a stalled HCA processing pipeline; later calls extend, earlier
   /// windows never shrink. Self-clears once `until` passes.

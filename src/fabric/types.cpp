@@ -11,6 +11,7 @@ const char* to_string(CqeStatus s) noexcept {
     case CqeStatus::kLocalLengthError: return "local-length-error";
     case CqeStatus::kRetryExceeded: return "retry-exceeded";
     case CqeStatus::kWrFlushError: return "wr-flush-error";
+    case CqeStatus::kRemoteOperationError: return "remote-operation-error";
   }
   return "unknown";
 }

@@ -40,6 +40,7 @@ enum class CqeStatus : std::uint8_t {
   kLocalLengthError = 4,      // receive buffer too small for incoming data
   kRetryExceeded = 5,         // transport retry budget exhausted (lost acks)
   kWrFlushError = 6,          // WR flushed: QP was in the error state
+  kRemoteOperationError = 7,  // message arrived at a QP in the error state
 };
 
 [[nodiscard]] const char* to_string(CqeStatus s) noexcept;

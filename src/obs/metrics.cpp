@@ -4,6 +4,8 @@
 #include <charconv>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace resex::obs {
 
 const char* to_string(MetricKind k) noexcept {
@@ -107,6 +109,32 @@ MetricsSnapshot MetricsRegistry::snapshot(sim::SimTime at) const {
               return a.name < b.name;
             });
   return snap;
+}
+
+void MetricsRegistry::emit_to_tracer(Tracer& tracer) const {
+  if (!tracer.enabled()) return;
+  std::vector<const Entry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& e : entries_) sorted.push_back(e.get());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry* a, const Entry* b) { return a->name < b->name; });
+  for (const Entry* e : sorted) {
+    switch (e->kind) {
+      case MetricKind::kCounter:
+        tracer.counter(e->name.c_str(), "value",
+                       static_cast<double>(e->counter.value()));
+        break;
+      case MetricKind::kGauge:
+        tracer.counter(e->name.c_str(), "value",
+                       e->pull ? e->pull() : e->gauge.value());
+        break;
+      case MetricKind::kHistogram:
+        tracer.counter(e->name.c_str(), "count",
+                       static_cast<double>(e->hist->count()));
+        tracer.counter(e->name.c_str(), "mean", e->hist->mean());
+        break;
+    }
+  }
 }
 
 namespace {

@@ -28,6 +28,8 @@
 
 namespace resex::obs {
 
+class Tracer;
+
 class Counter {
  public:
   void add(std::uint64_t n = 1) noexcept { value_ += n; }
@@ -143,6 +145,15 @@ class MetricsRegistry {
   /// Snapshot every metric, samples sorted by name. `at` stamps the
   /// simulated time (callers pass sim.now()).
   [[nodiscard]] MetricsSnapshot snapshot(sim::SimTime at = 0) const;
+
+  /// Stream the current value of every metric into `tracer` as 'C' (counter
+  /// track) events at the current simulated time, sorted by name: counters
+  /// and gauges emit one sample, histograms their running count and mean.
+  /// No-op when the tracer is disabled. The event names point at the
+  /// registry's own entry names (stable for its lifetime), honouring the
+  /// tracer's no-copy contract — the registry must outlive trace export,
+  /// which holds for both living on the same Simulation.
+  void emit_to_tracer(Tracer& tracer) const;
 
  private:
   struct Entry {

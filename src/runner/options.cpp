@@ -113,6 +113,38 @@ RunnerOptions parse_options(int argc, const char* const* argv) {
         throw std::invalid_argument("--pfc: takes no value");
       }
       opts.pfc = true;
+    } else if (arg == "--coll-ranks") {
+      opts.coll_ranks =
+          static_cast<std::uint32_t>(parse_u64(arg, take_value()));
+      if (opts.coll_ranks < 2) {
+        throw std::invalid_argument("--coll-ranks: must be >= 2");
+      }
+    } else if (arg == "--coll-bytes") {
+      opts.coll_bytes = parse_u64(arg, take_value());
+      if (opts.coll_bytes == 0 || opts.coll_bytes % 8 != 0) {
+        throw std::invalid_argument(
+            "--coll-bytes: must be a positive multiple of 8");
+      }
+    } else if (arg == "--coll-chunk") {
+      opts.coll_chunk =
+          static_cast<std::uint32_t>(parse_u64(arg, take_value()));
+      if (opts.coll_chunk < 8 || opts.coll_chunk % 8 != 0) {
+        throw std::invalid_argument(
+            "--coll-chunk: must be a multiple of 8 (>= 8)");
+      }
+    } else if (arg == "--coll-algo") {
+      opts.coll_algo = std::string(take_value());
+      if (opts.coll_algo != "ring" && opts.coll_algo != "allgather" &&
+          opts.coll_algo != "bcast") {
+        throw std::invalid_argument(
+            "--coll-algo: want ring | allgather | bcast");
+      }
+    } else if (arg == "--coll-iters") {
+      opts.coll_iters =
+          static_cast<std::uint32_t>(parse_u64(arg, take_value()));
+      if (opts.coll_iters == 0) {
+        throw std::invalid_argument("--coll-iters: must be >= 1");
+      }
     } else {
       throw std::invalid_argument("unknown option '" + std::string(arg) +
                                   "' (see --help)");
@@ -156,7 +188,8 @@ void print_usage(std::ostream& os, const std::string& prog) {
      << " .p<P>r<R>.\n"
      << "  --metrics-json PATH write per-trial metrics snapshots\n"
      << "  --metrics-period MS also snapshot every MS ms of sim time (adds a\n"
-     << "              per-trial \"series\" to --metrics-json output)\n"
+     << "              per-trial \"series\" to --metrics-json output, and\n"
+     << "              streams counter tracks into --trace files)\n"
      << "  --faults SPEC       inject a deterministic fault plan into every\n"
      << "              trial, e.g. drop=0.01,flap=300:150:A/up (see\n"
      << "              fault::FaultPlan for the grammar)\n"
@@ -172,6 +205,13 @@ void print_usage(std::ostream& os, const std::string& prog) {
      << "              admits up to A * free-pool bytes (needs --buf-bytes)\n"
      << "  --pfc               PFC-style lossless pause/resume instead of\n"
      << "              tail-drop (needs --buf-pkts or --buf-bytes)\n"
+     << "  --coll-ranks N      collective benches only: override the rank\n"
+     << "              count (>= 2; the bench's sweep otherwise)\n"
+     << "  --coll-bytes N      collective payload size in bytes (multiple\n"
+     << "              of 8)\n"
+     << "  --coll-chunk N      largest single RDMA write of a step\n"
+     << "  --coll-algo A       ring | allgather | bcast\n"
+     << "  --coll-iters N      back-to-back collective iterations\n"
      << "Per-trial results are byte-identical for any --jobs value.\n";
 }
 

@@ -16,6 +16,9 @@
 //   --pool-alpha A       shared per-switch pool: --buf-bytes becomes the pool
 //                        size, ports admit alpha * free-pool bytes each
 //   --pfc                PFC-style lossless pause/resume (needs finite buffers)
+//   --coll-ranks/--coll-bytes/--coll-chunk/--coll-algo/--coll-iters
+//                        collective-workload overrides (collective benches
+//                        only; 0/empty = the bench's own sweep)
 // Results are byte-identical for any --jobs value; only wall-clock changes.
 
 #include <cstddef>
@@ -39,7 +42,8 @@ struct RunnerOptions {
   /// Per-trial metrics snapshots document. Empty = metrics off.
   std::string metrics_path;
   /// Periodic in-run snapshot period, milliseconds of sim time. 0 = final
-  /// snapshot only. Requires --metrics-json to have any effect.
+  /// snapshot only. Feeds the --metrics-json time series and, when --trace
+  /// is on, streams every metric into the trace as counter tracks.
   double metrics_period_ms = 0.0;
   /// Fault-plan spec applied to every trial (see fault::FaultPlan::parse).
   /// Validated at parse time; empty = whatever the bench configures (usually
@@ -61,6 +65,14 @@ struct RunnerOptions {
   double pool_alpha = 0.0;
   /// PFC-style lossless pause/resume (requires finite buffers).
   bool pfc = false;
+  /// Collective-workload overrides for benches that run resex::collective
+  /// groups (bench_fig_allreduce). All default to 0/empty = keep the bench's
+  /// own sweep; existing benches ignore them entirely.
+  std::uint32_t coll_ranks = 0;
+  std::uint64_t coll_bytes = 0;   // payload size per collective
+  std::uint32_t coll_chunk = 0;   // largest single RDMA write
+  std::string coll_algo;          // ring | allgather | bcast
+  std::uint32_t coll_iters = 0;   // back-to-back iterations
   bool help = false;
 
   /// True when any congestion knob was set on the command line.

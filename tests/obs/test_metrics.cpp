@@ -8,8 +8,10 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "json_checker.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulation.hpp"
 
 namespace resex::obs {
@@ -177,6 +179,51 @@ TEST(MetricKindNames, ToStringCoversAllKinds) {
   EXPECT_STREQ(to_string(MetricKind::kCounter), "counter");
   EXPECT_STREQ(to_string(MetricKind::kGauge), "gauge");
   EXPECT_STREQ(to_string(MetricKind::kHistogram), "histogram");
+}
+
+TEST(MetricsEmitToTracer, DisabledTracerRecordsNothing) {
+  sim::Simulation sim;
+  sim.metrics().counter("a").add(1);
+  sim.metrics().emit_to_tracer(sim.tracer());
+  std::size_t events = 0;
+  sim.tracer().for_each([&](const TraceEvent&) { ++events; });
+  EXPECT_EQ(events, 0u);
+}
+
+TEST(MetricsEmitToTracer, EmitsSortedCounterTracks) {
+  sim::Simulation sim;
+  sim.tracer().enable();
+  sim.metrics().counter("z.counter").add(7);
+  sim.metrics().gauge("a.gauge").set(2.5);
+  sim.metrics().gauge_fn("m.pull", [] { return 4.0; });
+  auto& h = sim.metrics().histogram("h.hist");
+  h.observe(10);
+  h.observe(30);
+  sim.metrics().emit_to_tracer(sim.tracer());
+
+  struct Rec {
+    std::string name, key;
+    double value;
+  };
+  std::vector<Rec> recs;
+  sim.tracer().for_each([&](const TraceEvent& e) {
+    ASSERT_EQ(e.phase, 'C');
+    recs.push_back({e.name, e.a.key, e.a.value});
+  });
+  // Sorted by metric name; histograms contribute count + mean tracks.
+  ASSERT_EQ(recs.size(), 5u);
+  EXPECT_EQ(recs[0].name, "a.gauge");
+  EXPECT_DOUBLE_EQ(recs[0].value, 2.5);
+  EXPECT_EQ(recs[1].name, "h.hist");
+  EXPECT_EQ(recs[1].key, "count");
+  EXPECT_DOUBLE_EQ(recs[1].value, 2.0);
+  EXPECT_EQ(recs[2].name, "h.hist");
+  EXPECT_EQ(recs[2].key, "mean");
+  EXPECT_DOUBLE_EQ(recs[2].value, 20.0);
+  EXPECT_EQ(recs[3].name, "m.pull");
+  EXPECT_DOUBLE_EQ(recs[3].value, 4.0);
+  EXPECT_EQ(recs[4].name, "z.counter");
+  EXPECT_DOUBLE_EQ(recs[4].value, 7.0);
 }
 
 TEST(SimulationMetrics, RegistryAccessibleAndIndependentPerSimulation) {
