@@ -117,7 +117,8 @@ void apply_mode(fabric::FabricConfig& cfg, const Mode& mode) {
 }
 
 /// Part 1: 8:1 incast through one switch, as fig_incast but with a PFC row.
-/// Returns {reqs, p50_us, p99_us, drops, pauses, goodput_MBps, victim_MBps}.
+/// Returns {reqs, p50_us, p99_us, drops, pauses, goodput_MBps, victim_MBps,
+/// victim_p99_us} (the victim columns are 0 here — no victim flow).
 std::vector<double> run_incast(std::uint32_t senders, const Mode& mode,
                                std::uint64_t seed) {
   sim::Simulation sim;
@@ -186,13 +187,17 @@ std::vector<double> run_incast(std::uint32_t senders, const Mode& mode,
           static_cast<double>(down.buf_drops()),
           static_cast<double>(down.pauses_sent()),
           goodput_mbps,
+          0.0,
           0.0};
 }
 
 /// Part 2: fat-tree HoL measurement. Aggressors n1..n3 (leaf 0) incast into
 /// n4 (leaf 1); the victim writes n0 -> n5, sharing only the (uncongested)
 /// trunks with the incast. Returns the same column vector as run_incast,
-/// with goodput = incast receiver and victim_MBps = the victim's own rate.
+/// with goodput = incast receiver, victim_MBps = the victim's own rate and
+/// victim_p99_us = the victim's per-write p99 latency — the latency baseline
+/// the qos experiment (bench_fig_qos) measures its isolation against:
+/// goodput alone hides HoL pain that shows up as pause-stretched tails.
 std::vector<double> run_fat_tree(const Mode& mode, std::uint64_t seed) {
   cluster::ClusterConfig ccfg;
   ccfg.nodes = 8;
@@ -286,7 +291,8 @@ std::vector<double> run_fat_tree(const Mode& mode, std::uint64_t seed) {
           drops,
           pauses,
           incast_mbps,
-          victim_mbps};
+          victim_mbps,
+          victim_latency.percentile(99.0)};
 }
 
 }  // namespace
@@ -346,7 +352,7 @@ int main(int argc, char** argv) {
                              .count();
   const auto sink = resex::runner::ResultSink::named(
       {"reqs", "p50_us", "p99_us", "drops", "pauses", "goodput_MBps",
-       "victim_MBps"});
+       "victim_MBps", "victim_p99_us"});
   sink.table(outcomes).print(std::cout);
   const int rc = save_exports(sink, opts, outcomes, "fig_pfc");
 

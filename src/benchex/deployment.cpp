@@ -1,5 +1,7 @@
 #include "benchex/deployment.hpp"
 
+#include "qos/config.hpp"
+
 namespace resex::benchex {
 
 Endpoint BenchPair::make_endpoint(fabric::Hca& hca, hv::Domain& domain,
@@ -11,6 +13,9 @@ Endpoint BenchPair::make_endpoint(fabric::Hca& hca, hv::Domain& domain,
   ep.send_cq = &hca.create_cq(domain, config.cq_entries);
   ep.recv_cq = &hca.create_cq(domain, config.cq_entries);
   ep.qp = &hca.create_qp(domain, ep.pd, *ep.send_cq, *ep.recv_cq);
+  // BenchEx request/response traffic is the latency class (SL 0 is also the
+  // default; stated explicitly because this QP's class is a contract).
+  ep.qp->set_service_level(qos::kLatencySl);
   const std::size_t ring_bytes =
       std::size_t{config.buffer_bytes} * config.ring_slots;
   ep.ring_base = domain.allocator().allocate(ring_bytes, mem::kPageSize);

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "obs/trace.hpp"
+#include "qos/config.hpp"
 
 namespace resex::cluster {
 
@@ -106,7 +107,7 @@ void ClusterBroker::post_quotes() {
         it != switch_congestion.end()) {
       congestion = std::max(congestion, it->second);
     }
-    prev_[i] = PortSnapshot{up, down, dpkts, dmarks, ddrops};
+    PortSnapshot next{up, down, dpkts, dmarks, ddrops, prev_[i].up_vl_paused};
     const std::uint32_t pcpus = node.scheduler().pcpu_count();
     const std::uint32_t free = node.free_pcpu_count();
     core::NodePriceQuote q;
@@ -116,6 +117,37 @@ void ClusterBroker::post_quotes() {
         pcpus == 0 ? 0.0 : static_cast<double>(pcpus - free) / pcpus;
     q.congestion_price = congestion;
     q.free_pcpus = free;
+    // Per-class lane prices (qos runs only): the worse of how full this
+    // node's downlink lane sits right now and how long its uplink spent
+    // XOFF'd on that lane this period. A node whose bulk lane is jammed but
+    // whose latency lane is clear prices the latency class near 0 — that is
+    // the lane the broker shops for.
+    const auto& fcfg = cluster_->fabric().config();
+    if (fcfg.qos_enabled) {
+      for (std::uint8_t vl = 0; vl < fcfg.num_vls; ++vl) {
+        double occ_frac = 0.0;
+        const auto& down_ch = hca.downlink();
+        const auto& dcfg = down_ch.config();
+        if (dcfg.byte_occupancy()) {
+          const std::uint64_t cap_bytes = dcfg.port_buffer_bytes > 0
+                                              ? dcfg.port_buffer_bytes
+                                              : dcfg.switch_pool_bytes;
+          if (cap_bytes > 0) {
+            occ_frac = static_cast<double>(down_ch.vl_backlog_bytes(vl)) /
+                       static_cast<double>(cap_bytes);
+          }
+        } else if (dcfg.port_buffer_pkts > 0) {
+          occ_frac = static_cast<double>(down_ch.vl_backlog_packets(vl)) /
+                     dcfg.port_buffer_pkts;
+        }
+        const sim::SimDuration vp = hca.uplink().vl_paused_time(vl);
+        const double paused_frac =
+            static_cast<double>(vp - prev_[i].up_vl_paused[vl]) / period;
+        next.up_vl_paused[vl] = vp;
+        q.qos_price[vl] = std::min(1.0, std::max(occ_frac, paused_frac));
+      }
+    }
+    prev_[i] = next;
     q.posted_at = sim.now();
     exchange_->post(q);
   }
@@ -146,11 +178,23 @@ void ClusterBroker::decide() {
   if (worst == nullptr) return;
 
   const std::uint32_t src = worst->svc->server_node_id();
+  // Managed services are latency-sensitive by contract: with qos on, shop
+  // for the latency class's lane — the price of the lane this service's RPC
+  // traffic actually rides.
+  const auto& fcfg = cluster_->fabric().config();
+  const int qos_class =
+      fcfg.qos_enabled ? static_cast<int>(fcfg.vl_for_sl(qos::kLatencySl))
+                       : -1;
+  const auto score = [qos_class](const core::NodePriceQuote& q) {
+    double s = core::ClusterExchange::blended(q);
+    if (qos_class >= 0) s += q.qos_price[static_cast<std::size_t>(qos_class)];
+    return s;
+  };
   const auto* src_quote = exchange_->quote(src);
-  const auto* dst_quote = exchange_->cheapest(1, src);
+  const auto* dst_quote =
+      exchange_->cheapest(1, src, 1.0, 0.25, 0.75, qos_class);
   if (src_quote == nullptr || dst_quote == nullptr) return;
-  if (core::ClusterExchange::blended(*dst_quote) + config_.min_price_advantage >
-      core::ClusterExchange::blended(*src_quote)) {
+  if (score(*dst_quote) + config_.min_price_advantage > score(*src_quote)) {
     return;
   }
 

@@ -11,6 +11,7 @@
 // broker buys: it live-migrates the server VM there. One migration at a
 // time, deterministic candidate order, per-service cooldown.
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -72,6 +73,10 @@ class ClusterBroker {
     std::uint64_t down_pkts = 0;
     std::uint64_t down_marks = 0;
     std::uint64_t down_drops = 0;
+    // Uplink per-lane paused time at the last quote (qos runs only): the
+    // delta over the period is how long each class of this node's egress was
+    // XOFF'd — the per-class congestion signal qos_price is built from.
+    std::array<sim::SimDuration, 4> up_vl_paused{};
   };
   struct TrunkSnapshot {
     std::uint64_t pkts = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.hpp"
+#include "qos/config.hpp"
 
 namespace resex::cluster {
 
@@ -41,6 +42,10 @@ sim::ValueTask<MigrationEngine::Link*> MigrationEngine::link_for(
                                        *link->src_recv_cq);
   link->dst_qp = co_await dv.create_qp(link->dst_pd, *link->dst_send_cq,
                                        *link->dst_recv_cq);
+  // Live-migration streams are bulk traffic: both ends of the link ride the
+  // low-priority lane when qos is on (inert otherwise).
+  link->src_qp->set_service_level(qos::kBulkSl);
+  link->dst_qp->set_service_level(qos::kBulkSl);
   link->src_buf = src.node().dom0().allocator().allocate(config_.chunk_bytes,
                                                          mem::kPageSize);
   link->dst_buf = dst.node().dom0().allocator().allocate(config_.chunk_bytes,

@@ -88,6 +88,7 @@ ClusterScenarioResult run_cluster_scenario(
   ccfg.spines = config.spines;
   ccfg.trunk_bandwidth_scale = config.trunk_bandwidth_scale;
   config.congestion.apply(ccfg.fabric);
+  config.qos.apply(ccfg.fabric);
   Cluster cluster(ccfg);
   if (!config.trace_path.empty()) cluster.sim().tracer().enable();
 

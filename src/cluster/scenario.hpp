@@ -24,6 +24,7 @@
 #include "cluster/broker.hpp"
 #include "cluster/migration.hpp"
 #include "congestion/config.hpp"
+#include "qos/config.hpp"
 #include "cluster/service.hpp"
 #include "cluster/topology.hpp"
 #include "obs/metrics.hpp"
@@ -63,6 +64,9 @@ struct ClusterScenarioConfig {
 
   /// Switch congestion (resex::congestion); defaults off = lossless fabric.
   congestion::CongestionConfig congestion{};
+
+  /// Service levels / virtual lanes (resex::qos); defaults off = one lane.
+  qos::QosConfig qos{};
 
   sim::SimDuration warmup = 100 * sim::kMillisecond;
   sim::SimDuration duration = sim::kSecond;

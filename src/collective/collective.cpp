@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "obs/trace.hpp"
+#include "qos/config.hpp"
 
 namespace resex::collective {
 
@@ -392,6 +393,10 @@ sim::Task CollectiveGroup::rank_main(std::uint32_t r) {
       mem::Access::kLocalWrite | mem::Access::kRemoteWrite);
   for (const std::uint32_t peer : peers_of(r)) {
     rk.qp_to[peer] = co_await verbs.create_qp(rk.pd, *rk.send_cq, *rk.recv_cq);
+    // Collective streams are the bulk class: with qos on they ride the
+    // low-priority lane so tenant RPC traffic never queues behind a ring
+    // step. Inert (SL is unused) while qos is off.
+    rk.qp_to[peer]->set_service_level(qos::kBulkSl);
   }
   if (++setup_done_ == cfg_.ranks) {
     connect_pairs();

@@ -26,13 +26,19 @@ const NodePriceQuote* ClusterExchange::cheapest(std::uint32_t min_free_pcpus,
                                                 std::uint32_t exclude,
                                                 double io_weight,
                                                 double cpu_weight,
-                                                double congestion_weight) const {
+                                                double congestion_weight,
+                                                int qos_class) const {
+  const auto score = [&](const NodePriceQuote& q) {
+    double s = blended(q, io_weight, cpu_weight, congestion_weight);
+    if (qos_class >= 0 && static_cast<std::size_t>(qos_class) < q.qos_price.size()) {
+      s += q.qos_price[static_cast<std::size_t>(qos_class)];
+    }
+    return s;
+  };
   const NodePriceQuote* best = nullptr;
   for (const auto& q : book_) {  // ascending node_id: ties keep the first
     if (q.node_id == exclude || q.free_pcpus < min_free_pcpus) continue;
-    if (best == nullptr ||
-        blended(q, io_weight, cpu_weight, congestion_weight) <
-            blended(*best, io_weight, cpu_weight, congestion_weight)) {
+    if (best == nullptr || score(q) < score(*best)) {
       best = &q;
     }
   }

@@ -8,6 +8,7 @@
 // scale: is there a node where this latency-sensitive VM's resources are
 // cheaper than where it runs today, by enough to pay for the move?
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -31,6 +32,14 @@ struct NodePriceQuote {
   double congestion_price = 0.0;
   /// PCPUs with no pinned VCPU — placement capacity.
   std::uint32_t free_pcpus = 0;
+  /// Per-class (virtual-lane) price in [0, 1]: how congested each priority
+  /// lane is on this node's path — max of the downlink lane's occupancy
+  /// fraction and the uplink's per-lane paused fraction over the quote
+  /// period. All 0 while qos is off, so quotes are byte-identical to the
+  /// single-class exchange; with qos on, lane 0 (latency) staying near 0 on
+  /// a node whose bulk lane is saturated is exactly the isolation signal the
+  /// broker buys.
+  std::array<double, 4> qos_price{};
   sim::SimTime posted_at = 0;
 };
 
@@ -57,10 +66,14 @@ class ClusterExchange {
   /// Cheapest node (by blended price) that has at least `min_free_pcpus`
   /// free and is not `exclude`. Ties break towards the lowest node id, so
   /// the answer is deterministic. Returns nullptr when no node qualifies.
+  /// `qos_class >= 0` adds that lane's qos_price to the score: a broker
+  /// placing a latency-sensitive service asks for its class's lane, so a
+  /// node whose bulk lane is jammed but whose latency lane is clear still
+  /// wins over one with a congested latency lane.
   [[nodiscard]] const NodePriceQuote* cheapest(
       std::uint32_t min_free_pcpus, std::uint32_t exclude,
       double io_weight = 1.0, double cpu_weight = 0.25,
-      double congestion_weight = 0.75) const;
+      double congestion_weight = 0.75, int qos_class = -1) const;
 
   [[nodiscard]] const std::vector<NodePriceQuote>& book() const noexcept {
     return book_;

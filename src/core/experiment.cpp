@@ -80,6 +80,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   TestbedConfig tb_cfg;
   tb_cfg.scheduler.subwindows = config.sched_subwindows;
   config.congestion.apply(tb_cfg.fabric);
+  config.qos.apply(tb_cfg.fabric);
   Testbed tb(tb_cfg);
   ScenarioResult result;
   if (!config.trace_path.empty()) tb.sim().tracer().enable();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "congestion/config.hpp"
+#include "qos/config.hpp"
 #include "core/controller.hpp"
 #include "core/testbed.hpp"
 #include "obs/metrics.hpp"
@@ -82,6 +83,10 @@ struct ScenarioConfig {
   // baseline probe keeps these settings — finite buffers are the fabric's
   // physics, not a fault.
   congestion::CongestionConfig congestion{};
+
+  // Service levels / virtual lanes (resex::qos). Defaults off: one lane,
+  // byte-identical to the single-class fabric.
+  qos::QosConfig qos{};
 
   // Run control.
   sim::SimDuration warmup = 100 * sim::kMillisecond;

@@ -10,6 +10,17 @@ namespace resex::fabric {
 Channel::Channel(sim::Simulation& sim, const FabricConfig& config,
                  std::string name)
     : sim_(sim), config_(config), name_(std::move(name)) {
+  if (config_.qos_enabled) {
+    qos_on_ = true;
+    qos::VlArbiterConfig acfg;
+    acfg.num_vls = config_.num_vls;
+    acfg.high_mask = config_.vl_high_mask;
+    acfg.hi_limit = config_.vl_hi_limit;
+    for (std::size_t vl = 0; vl < qos::kMaxVls; ++vl) {
+      acfg.weight[vl] = config_.vl_weight[vl];
+    }
+    arbiter_ = qos::VlArbiter(acfg);
+  }
   // Pull-style gauges: evaluated only when a driver snapshots the registry,
   // so the packet path pays nothing for them. The channel outlives any
   // snapshot taken while its scenario runs.
@@ -48,6 +59,15 @@ void Channel::configure_switch_port(SwitchBufferPool* pool,
   if (ecn_configured_) {
     ecn_marker_ = EcnMarker(config_.ecn_kmin_pkts * unit,
                             config_.ecn_kmax_pkts * unit);
+    if (qos_on_) {
+      // One marker per lane: each VL queue ramps against its own occupancy
+      // with the same configured thresholds, so marking on a hot bulk lane
+      // never taxes an idle latency lane.
+      for (std::size_t vl = 0; vl < qos::kMaxVls; ++vl) {
+        vl_ecn_[vl] = EcnMarker(config_.ecn_kmin_pkts * unit,
+                                config_.ecn_kmax_pkts * unit);
+      }
+    }
   }
   // Fabric-wide aggregates plus per-port gauges, registered only when
   // congestion is configured so default runs export an unchanged metric set.
@@ -57,6 +77,11 @@ void Channel::configure_switch_port(SwitchBufferPool* pool,
   occupancy_hist_ = &metrics.histogram(byte_mode_
                                            ? "fabric.port_occupancy_bytes"
                                            : "fabric.port_occupancy_pkts");
+  if (qos_on_) {
+    // Per-lane occupancy seen by each arrival, fabric-wide: the isolation
+    // signal (latency-lane occupancy staying flat under a bulk storm).
+    vl_occupancy_hist_ = &metrics.histogram("fabric.vl_occupancy");
+  }
   const std::string prefix = "fabric." + name_;
   metrics.gauge_fn(prefix + ".buf_drops",
                    [this] { return static_cast<double>(buf_drops_); });
@@ -164,19 +189,141 @@ void Channel::check_xon() {
   if (occupancy_units() <= xon) set_pause_upstream(false);
 }
 
-Channel::Flow& Channel::flow_for(QpNum qp) {
-  for (auto& f : flows_) {
-    if (f.qp == qp) return f;
+// --- QoS: per-lane buffering, pausing and accounting -------------------------
+
+std::uint64_t Channel::vl_occupancy_units(std::uint8_t vl) const noexcept {
+  return byte_mode_ ? vl_backlog_bytes_[vl] : vl_backlog_pkts_[vl];
+}
+
+std::uint64_t Channel::vl_capacity_units() {
+  std::uint64_t cap = capacity_units();
+  // The Choudhury-Hahne threshold is a per-queue bound and each VL queue is
+  // its own queue against the shared free pool, so the pool threshold is not
+  // divided; fixed per-port caps (and fault squeezes) are partitioned
+  // statically across the configured lanes.
+  if (pool_ == nullptr && cap > 0) {
+    cap = std::max<std::uint64_t>(cap / config_.num_vls, 1);
   }
-  flows_.push_back(Flow{});
-  flows_.back().qp = qp;
+  return cap;
+}
+
+sim::SimDuration Channel::vl_paused_time(std::uint8_t vl) const noexcept {
+  if (vl >= qos::kMaxVls) return 0;
+  sim::SimDuration total = vl_paused_time_[vl];
+  if (vl_pause_refs_[vl] > 0) total += sim_.now() - vl_paused_since_[vl];
+  return total;
+}
+
+void Channel::pause_vls(std::uint8_t mask) {
+  for (std::uint8_t vl = 0; vl < qos::kMaxVls; ++vl) {
+    if ((mask & (1u << vl)) == 0) continue;
+    if (vl_pause_refs_[vl]++ == 0) vl_paused_since_[vl] = sim_.now();
+  }
+}
+
+void Channel::resume_vls(std::uint8_t mask) {
+  bool freed = false;
+  for (std::uint8_t vl = 0; vl < qos::kMaxVls; ++vl) {
+    if ((mask & (1u << vl)) == 0) continue;
+    if (vl_pause_refs_[vl] == 0) continue;
+    if (--vl_pause_refs_[vl] > 0) continue;
+    const sim::SimDuration dur = sim_.now() - vl_paused_since_[vl];
+    vl_paused_time_[vl] += dur;
+    if (pause_dur_hist_ == nullptr) {
+      pause_dur_hist_ = &sim_.metrics().histogram("fabric.pause_duration_ns");
+    }
+    pause_dur_hist_->observe(static_cast<std::uint64_t>(dur));
+    if (sim_.tracer().enabled()) {
+      sim_.tracer().complete("fabric.vl_paused", "qos", vl_paused_since_[vl],
+                             dur);
+    }
+    freed = true;
+  }
+  // One wakeup after the whole bitmap is applied: a resume frame covering
+  // several lanes must not arbitrate between partially-updated pause state.
+  if (freed && !busy_) try_start();
+}
+
+void Channel::set_pause_upstream_vl(std::uint8_t vl, bool pause) {
+  vl_xoff_[vl] = pause;
+  if (pause) {
+    ++pauses_sent_;
+    if (pauses_total_ != nullptr) pauses_total_->add();
+  }
+  if (sim_.tracer().enabled()) {
+    sim_.tracer().instant(
+        pause ? "fabric.pause" : "fabric.resume", "congestion",
+        {"vl", static_cast<double>(vl)},
+        {"occ", static_cast<double>(vl_occupancy_units(vl))});
+  }
+  if (upstreams_ == nullptr) return;
+  // The pause frame carries the class bitmap: every feeder gates (or
+  // resumes) this lane only — other lanes keep flowing through it.
+  const auto mask = static_cast<std::uint8_t>(1u << vl);
+  for (Channel* up : *upstreams_) {
+    sim_.schedule_in(config_.propagation_delay, [up, mask, pause] {
+      if (pause) {
+        up->pause_vls(mask);
+      } else {
+        up->resume_vls(mask);
+      }
+    });
+  }
+}
+
+void Channel::check_xoff_vl(std::uint8_t vl) {
+  const std::uint64_t cap = vl_capacity_units();
+  if (cap == 0) return;
+  auto xoff = static_cast<std::uint64_t>(
+      config_.pfc_xoff * static_cast<double>(cap));
+  if (xoff == 0) xoff = 1;
+  if (vl_occupancy_units(vl) >= xoff) set_pause_upstream_vl(vl, true);
+}
+
+void Channel::check_xon_vl(std::uint8_t vl) {
+  const std::uint64_t cap = vl_capacity_units();
+  const auto xon = static_cast<std::uint64_t>(
+      config_.pfc_xon * static_cast<double>(cap));
+  if (vl_occupancy_units(vl) <= xon) set_pause_upstream_vl(vl, false);
+}
+
+Channel::Flow& Channel::flow_for(QpNum qp, std::uint8_t vl) {
+  for (auto& f : flows_) {
+    if (f.qp == qp && f.vl == vl) return f;
+  }
+  Flow nf;
+  nf.qp = qp;
+  nf.vl = vl;
+  // A QP appearing on a new lane keeps its configured arbitration weight and
+  // rate-limit parameters (with a fresh bucket): weight and rate are per-QP
+  // knobs, the lane is a per-packet property.
+  for (const auto& f : flows_) {
+    if (f.qp != qp) continue;
+    nf.weight = f.weight;
+    nf.grants_left = f.weight;
+    nf.rate_bytes_per_sec = f.rate_bytes_per_sec;
+    nf.bucket_cap = f.bucket_cap;
+    nf.tokens = f.bucket_cap;
+    nf.tokens_updated = sim_.now();
+    break;
+  }
+  flows_.push_back(nf);
   return flows_.back();
 }
 
 void Channel::set_flow_weight(QpNum qp, std::uint32_t weight) {
+  const std::uint32_t w = std::max<std::uint32_t>(weight, 1);
+  bool found = false;
+  for (auto& f : flows_) {
+    if (f.qp != qp) continue;
+    f.weight = w;
+    f.grants_left = w;
+    found = true;
+  }
+  if (found) return;
   Flow& f = flow_for(qp);
-  f.weight = std::max<std::uint32_t>(weight, 1);
-  f.grants_left = f.weight;
+  f.weight = w;
+  f.grants_left = w;
 }
 
 std::uint32_t Channel::flow_weight(QpNum qp) const {
@@ -186,12 +333,8 @@ std::uint32_t Channel::flow_weight(QpNum qp) const {
   return 1;
 }
 
-void Channel::set_flow_rate_limit(QpNum qp, double bytes_per_sec,
-                                  std::uint32_t burst_bytes) {
-  if (bytes_per_sec < 0.0) {
-    throw std::invalid_argument("Channel: negative rate limit");
-  }
-  Flow& f = flow_for(qp);
+void Channel::apply_rate_limit(Flow& f, double bytes_per_sec,
+                               std::uint32_t burst_bytes) {
   const bool was_limited = f.rate_bytes_per_sec > 0.0;
   if (was_limited) {
     // Settle the bucket at the old rate before switching: a controller that
@@ -211,6 +354,22 @@ void Channel::set_flow_rate_limit(QpNum qp, double bytes_per_sec,
     f.tokens = f.bucket_cap;  // newly limited flows start with a full burst
   }
   f.tokens_updated = sim_.now();
+}
+
+void Channel::set_flow_rate_limit(QpNum qp, double bytes_per_sec,
+                                  std::uint32_t burst_bytes) {
+  if (bytes_per_sec < 0.0) {
+    throw std::invalid_argument("Channel: negative rate limit");
+  }
+  // The limit is per-QP: every lane the QP rides gets the same parameters
+  // (each lane keeps its own bucket), matching how DCQCN throttles a QP.
+  bool found = false;
+  for (auto& f : flows_) {
+    if (f.qp != qp) continue;
+    apply_rate_limit(f, bytes_per_sec, burst_bytes);
+    found = true;
+  }
+  if (!found) apply_rate_limit(flow_for(qp), bytes_per_sec, burst_bytes);
   if (!busy_) try_start();
 }
 
@@ -243,6 +402,10 @@ sim::SimTime Channel::eligible_at(const Flow& f) const {
 void Channel::enqueue(detail::Packet pkt) {
   if (!sink_) {
     throw std::logic_error("Channel '" + name_ + "': no sink connected");
+  }
+  if (qos_on_) {
+    enqueue_qos(std::move(pkt));
+    return;
   }
   if (switch_port_ && (config_.congestion_enabled() || fault_hook_ != nullptr)) {
     // Finite egress buffer: the packet currently serializing occupies the
@@ -305,6 +468,68 @@ void Channel::enqueue(detail::Packet pkt) {
   if (!busy_ && pause_refs_ == 0) try_start();
 }
 
+void Channel::enqueue_qos(detail::Packet pkt) {
+  // The HCA resolved SL->VL at transfer start; clamp defensively so a stale
+  // transfer can never index past the configured lanes.
+  const std::uint8_t vl =
+      pkt.transfer->vl < config_.num_vls ? pkt.transfer->vl : 0;
+  if (switch_port_ && (config_.congestion_enabled() || fault_hook_ != nullptr)) {
+    // Admission is per lane: this packet competes for buffer against its own
+    // class only. The port-wide histogram keeps its meaning (total backlog);
+    // the vl histogram records what this arrival's class actually saw.
+    const std::uint64_t occupancy = vl_occupancy_units(vl);
+    const std::uint64_t capacity = vl_capacity_units();
+    if (occupancy_hist_ != nullptr) {
+      occupancy_hist_->observe(occupancy_units());
+    }
+    if (vl_occupancy_hist_ != nullptr) {
+      vl_occupancy_hist_->observe(occupancy);
+    }
+    if (capacity > 0 && occupancy >= capacity) {
+      ++buf_drops_;
+      ++packets_dropped_;
+      if (buf_drops_total_ == nullptr) {
+        buf_drops_total_ = &sim_.metrics().counter("fabric.buf_drops");
+      }
+      buf_drops_total_->add();
+      if (sim_.tracer().enabled()) {
+        sim_.tracer().instant("fabric.buf_drop", "congestion",
+                              {"vl", static_cast<double>(vl)},
+                              {"occ", static_cast<double>(occupancy)});
+      }
+      return;  // tail-drop: the RC machinery recovers via NAK/RTO
+    }
+    if (ecn_configured_ && !pkt.ecn && vl_ecn_[vl].on_enqueue(occupancy)) {
+      pkt.ecn = true;
+      ++ecn_marks_;
+      if (ecn_marks_total_ != nullptr) ecn_marks_total_->add();
+      if (sim_.tracer().enabled()) {
+        sim_.tracer().instant("fabric.ecn_mark", "congestion",
+                              {"vl", static_cast<double>(vl)},
+                              {"occ", static_cast<double>(occupancy)});
+      }
+    }
+  }
+  if (sim_.tracer().enabled()) {
+    sim_.tracer().instant(
+        "pkt.enqueue", "fabric",
+        {"qp", static_cast<double>(pkt.transfer->src_qp->num())},
+        {"bytes", static_cast<double>(pkt.bytes)});
+    sim_.tracer().counter(name_.c_str(), "backlog",
+                          static_cast<double>(backlog_packets() + 1));
+  }
+  backlog_bytes_ += pkt.bytes;
+  vl_backlog_bytes_[vl] += pkt.bytes;
+  ++vl_backlog_pkts_[vl];
+  if (pool_ != nullptr) pool_->acquire(pkt.bytes);
+  flow_for(pkt.transfer->src_qp->num(), vl).packets.push_back(std::move(pkt));
+  // Per-priority XOFF on the post-admission occupancy of this lane only.
+  if (pfc_on_ && !vl_xoff_[vl]) check_xoff_vl(vl);
+  // A lane-paused port may still transmit other lanes, so the egress gate is
+  // evaluated inside try_start_qos(), not here.
+  if (!busy_) try_start();
+}
+
 std::uint64_t Channel::backlog_packets() const noexcept {
   std::uint64_t n = 0;
   for (const auto& f : flows_) n += f.packets.size();
@@ -325,10 +550,101 @@ void Channel::arm_rate_timer() {
   });
 }
 
+void Channel::launch(Flow& f, std::size_t pos, std::size_t& cursor) {
+  detail::Packet pkt = std::move(f.packets.front());
+  f.packets.pop_front();
+  backlog_bytes_ -= std::min<std::uint64_t>(backlog_bytes_, pkt.bytes);
+  if (qos_on_) {
+    auto& vbytes = vl_backlog_bytes_[f.vl];
+    vbytes -= std::min<std::uint64_t>(vbytes, pkt.bytes);
+    if (vl_backlog_pkts_[f.vl] > 0) --vl_backlog_pkts_[f.vl];
+  }
+  if (pool_ != nullptr) pool_->release(pkt.bytes);
+  // The departure may have drained this port below XON: resume upstreams —
+  // for this packet's class only when lanes are on.
+  if (qos_on_) {
+    if (vl_xoff_[f.vl]) check_xon_vl(f.vl);
+  } else if (pfc_asserted_) {
+    check_xon();
+  }
+  if (f.rate_bytes_per_sec > 0.0) {
+    f.tokens -= static_cast<double>(pkt.bytes);
+  }
+  if (f.grants_left > 1 && !f.packets.empty()) {
+    --f.grants_left;
+    cursor = pos;  // keep the grant on this flow
+  } else {
+    f.grants_left = f.weight;
+    cursor = pos + 1;
+  }
+
+  // Fault injection happens at the instant the packet wins arbitration:
+  // a dropped packet still consumes its serialization time (the sender's
+  // transmitter does not know the switch will eat it), it just never
+  // reaches the sink; a corrupted one is delivered flagged and discarded
+  // by the receiving HCA.
+  PacketFate fate = PacketFate::kDeliver;
+  if (fault_hook_ != nullptr) {
+    fate = fault_hook_->on_transmit(*this, pkt);
+    if (fate == PacketFate::kDrop) {
+      ++packets_dropped_;
+      if (sim_.tracer().enabled()) {
+        sim_.tracer().instant("pkt.drop", "fault",
+                              {"qp", static_cast<double>(f.qp)},
+                              {"psn", static_cast<double>(pkt.psn)});
+      }
+    } else if (fate == PacketFate::kCorrupt) {
+      pkt.corrupted = true;
+      ++packets_corrupted_;
+      if (sim_.tracer().enabled()) {
+        sim_.tracer().instant("pkt.corrupt", "fault",
+                              {"qp", static_cast<double>(f.qp)},
+                              {"psn", static_cast<double>(pkt.psn)});
+      }
+    }
+  }
+
+  busy_ = true;
+  const sim::SimDuration tx = config_.serialization_time(pkt.bytes);
+  busy_time_ += tx;
+  ++packets_sent_;
+  bytes_sent_ += pkt.bytes;
+  if (qos_on_) {
+    ++vl_grants_[f.vl];
+    if (sim_.tracer().enabled()) {
+      sim_.tracer().instant("qos.arb_grant", "qos",
+                            {"vl", static_cast<double>(f.vl)},
+                            {"qp", static_cast<double>(f.qp)});
+    }
+  }
+  if (sim_.tracer().enabled()) {
+    sim_.tracer().instant("pkt.tx", "fabric",
+                          {"qp", static_cast<double>(f.qp)},
+                          {"bytes", static_cast<double>(pkt.bytes)});
+    sim_.tracer().counter(name_.c_str(), "backlog",
+                          static_cast<double>(backlog_packets()));
+  }
+  const bool deliver = fate != PacketFate::kDrop;
+  sim_.schedule_in(tx, [this, deliver, pkt = std::move(pkt)]() mutable {
+    busy_ = false;
+    if (deliver) {
+      sim_.schedule_in(config_.propagation_delay,
+                       [sink = sink_, pkt = std::move(pkt)]() mutable {
+                         sink(std::move(pkt));
+                       });
+    }
+    try_start();
+  });
+}
+
 void Channel::try_start() {
+  if (qos_on_) {
+    try_start_qos();
+    return;
+  }
   // A PFC-paused channel holds everything: pause frames gate the whole
   // port's arbitration, not single flows — that is exactly the head-of-line
-  // blocking PFC is known for.
+  // blocking PFC is known for (and exactly what per-lane pause removes).
   if (busy_ || pause_refs_ > 0) return;
   const std::size_t n = flows_.size();
   if (n == 0) return;
@@ -346,78 +662,48 @@ void Channel::try_start() {
       rate_blocked = true;
       continue;
     }
-
-    detail::Packet pkt = std::move(f.packets.front());
-    f.packets.pop_front();
-    backlog_bytes_ -= std::min<std::uint64_t>(backlog_bytes_, pkt.bytes);
-    if (pool_ != nullptr) pool_->release(pkt.bytes);
-    // The departure may have drained this port below XON: resume upstreams.
-    if (pfc_asserted_) check_xon();
-    if (f.rate_bytes_per_sec > 0.0) {
-      f.tokens -= static_cast<double>(pkt.bytes);
-    }
-    if (f.grants_left > 1 && !f.packets.empty()) {
-      --f.grants_left;
-      rr_cursor_ = pos;  // keep the grant on this flow
-    } else {
-      f.grants_left = f.weight;
-      rr_cursor_ = pos + 1;
-    }
-
-    // Fault injection happens at the instant the packet wins arbitration:
-    // a dropped packet still consumes its serialization time (the sender's
-    // transmitter does not know the switch will eat it), it just never
-    // reaches the sink; a corrupted one is delivered flagged and discarded
-    // by the receiving HCA.
-    PacketFate fate = PacketFate::kDeliver;
-    if (fault_hook_ != nullptr) {
-      fate = fault_hook_->on_transmit(*this, pkt);
-      if (fate == PacketFate::kDrop) {
-        ++packets_dropped_;
-        if (sim_.tracer().enabled()) {
-          sim_.tracer().instant("pkt.drop", "fault",
-                                {"qp", static_cast<double>(f.qp)},
-                                {"psn", static_cast<double>(pkt.psn)});
-        }
-      } else if (fate == PacketFate::kCorrupt) {
-        pkt.corrupted = true;
-        ++packets_corrupted_;
-        if (sim_.tracer().enabled()) {
-          sim_.tracer().instant("pkt.corrupt", "fault",
-                                {"qp", static_cast<double>(f.qp)},
-                                {"psn", static_cast<double>(pkt.psn)});
-        }
-      }
-    }
-
-    busy_ = true;
-    const sim::SimDuration tx = config_.serialization_time(pkt.bytes);
-    busy_time_ += tx;
-    ++packets_sent_;
-    bytes_sent_ += pkt.bytes;
-    if (sim_.tracer().enabled()) {
-      sim_.tracer().instant("pkt.tx", "fabric",
-                            {"qp", static_cast<double>(f.qp)},
-                            {"bytes", static_cast<double>(pkt.bytes)});
-      sim_.tracer().counter(name_.c_str(), "backlog",
-                            static_cast<double>(backlog_packets()));
-    }
-    const bool deliver = fate != PacketFate::kDrop;
-    sim_.schedule_in(tx, [this, deliver, pkt = std::move(pkt)]() mutable {
-      busy_ = false;
-      if (deliver) {
-        sim_.schedule_in(config_.propagation_delay,
-                         [sink = sink_, pkt = std::move(pkt)]() mutable {
-                           sink(std::move(pkt));
-                         });
-      }
-      try_start();
-    });
+    launch(f, pos, rr_cursor_);
     return;
   }
   // Everything pending is rate-limited below its bucket: wake up when the
   // earliest bucket refills.
   if (rate_blocked) arm_rate_timer();
+}
+
+void Channel::try_start_qos() {
+  if (busy_ || pause_refs_ > 0) return;
+  // Pass 1 — lane eligibility: VL v competes when it is not paused and some
+  // flow on it holds a head packet with the tokens to send it. This is the
+  // per-priority escape from HoL blocking: a pause frame against the bulk
+  // lane leaves every other lane in the mask.
+  std::uint8_t eligible = 0;
+  bool rate_blocked = false;
+  for (auto& f : flows_) {
+    if (f.packets.empty()) continue;
+    if (vl_pause_refs_[f.vl] > 0) continue;
+    if (!may_send(f, f.packets.front().bytes)) {
+      rate_blocked = true;
+      continue;
+    }
+    eligible |= static_cast<std::uint8_t>(1u << f.vl);
+  }
+  // Pass 2 — two-table arbitration picks the lane...
+  const std::uint8_t vl = arbiter_.pick(eligible);
+  if (vl >= qos::kMaxVls) {
+    if (rate_blocked) arm_rate_timer();
+    return;
+  }
+  // ...pass 3 — per-QP WRR within the winning lane, with that lane's own
+  // cursor so heavy lanes never skew fairness inside quiet ones.
+  const std::size_t n = flows_.size();
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const std::size_t pos = (vl_cursor_[vl] + probe) % n;
+    Flow& f = flows_[pos];
+    if (f.vl != vl || f.packets.empty()) continue;
+    if (!may_send(f, f.packets.front().bytes)) continue;
+    launch(f, pos, vl_cursor_[vl]);
+    return;
+  }
 }
 
 }  // namespace resex::fabric

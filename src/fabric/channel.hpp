@@ -8,6 +8,7 @@
 // transfer time inflates with the large flow's offered load — the effect the
 // paper's Figures 1-4 measure.
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -16,6 +17,7 @@
 
 #include "fabric/fault_hook.hpp"
 #include "fabric/types.hpp"
+#include "qos/arbiter.hpp"
 #include "sim/simulation.hpp"
 
 namespace resex::fabric {
@@ -181,9 +183,38 @@ class Channel {
   /// Cumulative time this channel spent paused (open interval included).
   [[nodiscard]] sim::SimDuration paused_time() const noexcept;
 
+  // --- QoS: virtual lanes (resex::qos) -------------------------------------
+  // Active only while config.qos_enabled: packets carry a VL (from the
+  // SL->VL map), each lane has its own queue, buffer share, ECN marker and
+  // pause state, and the egress runs the two-table VL arbiter before the
+  // per-QP WRR. With qos off none of this code executes and the channel is
+  // byte-identical to the historical single-lane datapath.
+
+  /// Per-priority PFC: a downstream port pauses only the lanes set in
+  /// `mask` (bit v = VL v), the class bitmap of an 802.1Qbb/IBA pause
+  /// frame. Refcounted per lane, exactly like pause()/resume() per port.
+  void pause_vls(std::uint8_t mask);
+  void resume_vls(std::uint8_t mask);
+  [[nodiscard]] bool vl_paused(std::uint8_t vl) const noexcept {
+    return vl < qos::kMaxVls && vl_pause_refs_[vl] > 0;
+  }
+  /// Cumulative time lane `vl` spent paused (open interval included).
+  [[nodiscard]] sim::SimDuration vl_paused_time(std::uint8_t vl) const noexcept;
+  [[nodiscard]] std::uint64_t vl_backlog_packets(std::uint8_t vl) const noexcept {
+    return vl < qos::kMaxVls ? vl_backlog_pkts_[vl] : 0;
+  }
+  [[nodiscard]] std::uint64_t vl_backlog_bytes(std::uint8_t vl) const noexcept {
+    return vl < qos::kMaxVls ? vl_backlog_bytes_[vl] : 0;
+  }
+  /// Packet grants the egress arbiter awarded to lane `vl`.
+  [[nodiscard]] std::uint64_t vl_grants(std::uint8_t vl) const noexcept {
+    return vl < qos::kMaxVls ? vl_grants_[vl] : 0;
+  }
+
  private:
   struct Flow {
     QpNum qp = 0;
+    std::uint8_t vl = 0;  // virtual lane (always 0 while qos is off)
     std::deque<detail::Packet> packets;
     std::uint32_t weight = 1;
     std::uint32_t grants_left = 1;  // WRR grants remaining this visit
@@ -194,8 +225,20 @@ class Channel {
     sim::SimTime tokens_updated = 0;
   };
 
-  Flow& flow_for(QpNum qp);
+  Flow& flow_for(QpNum qp, std::uint8_t vl = 0);
+  /// Apply one rate-limit update to one (qp, vl) flow, settling its bucket.
+  void apply_rate_limit(Flow& f, double bytes_per_sec,
+                        std::uint32_t burst_bytes);
   void try_start();
+  /// VL-aware egress path: two-table arbitration across lanes, then per-QP
+  /// WRR within the winning lane. Replaces try_start() while qos is on.
+  void try_start_qos();
+  /// Dequeue `f`'s head packet and put it on the wire, advancing `cursor`
+  /// (the legacy port cursor or the winning lane's cursor) with the WRR
+  /// grant bookkeeping. Shared by both egress paths.
+  void launch(Flow& f, std::size_t pos, std::size_t& cursor);
+  /// VL-aware admission path. Replaces the body of enqueue() while qos is on.
+  void enqueue_qos(detail::Packet pkt);
   /// Current occupancy in this port's accounting unit (bytes or packets).
   [[nodiscard]] std::uint64_t occupancy_units() const noexcept;
   /// Effective admission capacity in occupancy units (0 = infinite):
@@ -207,6 +250,19 @@ class Channel {
   void check_xon();
   /// Flip this port's pause assertion and propagate it one hop upstream.
   void set_pause_upstream(bool pause);
+  /// Per-VL occupancy of lane `vl` in this port's accounting unit.
+  [[nodiscard]] std::uint64_t vl_occupancy_units(std::uint8_t vl) const noexcept;
+  /// Per-lane admission capacity (0 = infinite): the shared pool's dynamic
+  /// threshold bounds each *queue*, so with qos on every VL queue gets the
+  /// full Choudhury-Hahne bound; a fixed per-port cap is split statically
+  /// across the configured lanes.
+  [[nodiscard]] std::uint64_t vl_capacity_units();
+  /// Per-VL XOFF/XON against the per-lane capacity share.
+  void check_xoff_vl(std::uint8_t vl);
+  void check_xon_vl(std::uint8_t vl);
+  /// Flip this port's pause assertion for one lane and send the class-bitmap
+  /// pause frame one hop upstream.
+  void set_pause_upstream_vl(std::uint8_t vl, bool pause);
   /// Refill `f`'s bucket to the current time; true if it may send `bytes`.
   bool may_send(Flow& f, std::uint32_t bytes);
   /// Earliest time the rate-limited flow could send its head packet.
@@ -253,6 +309,21 @@ class Channel {
   obs::Counter* pauses_total_ = nullptr;      // fabric-wide aggregate
   obs::Histogram* occupancy_hist_ = nullptr;  // fabric-wide, at enqueue
   obs::Histogram* pause_dur_hist_ = nullptr;  // fabric-wide, per pause spell
+
+  // QoS per-lane state (all inert while qos_on_ is false).
+  bool qos_on_ = false;
+  qos::VlArbiter arbiter_{};
+  std::array<std::uint64_t, qos::kMaxVls> vl_backlog_pkts_{};
+  std::array<std::uint64_t, qos::kMaxVls> vl_backlog_bytes_{};
+  std::array<std::uint32_t, qos::kMaxVls> vl_pause_refs_{};
+  std::array<bool, qos::kMaxVls> vl_xoff_{};  // pausing upstreams for lane v
+  std::array<sim::SimTime, qos::kMaxVls> vl_paused_since_{};
+  std::array<sim::SimDuration, qos::kMaxVls> vl_paused_time_{};
+  std::array<std::size_t, qos::kMaxVls> vl_cursor_{};  // per-lane QP cursor
+  std::array<std::uint64_t, qos::kMaxVls> vl_grants_{};
+  std::array<EcnMarker, qos::kMaxVls> vl_ecn_{
+      EcnMarker{0, 0}, EcnMarker{0, 0}, EcnMarker{0, 0}, EcnMarker{0, 0}};
+  obs::Histogram* vl_occupancy_hist_ = nullptr;  // fabric-wide, at enqueue
 };
 
 }  // namespace resex::fabric

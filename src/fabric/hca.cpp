@@ -207,6 +207,14 @@ void Hca::start_transfer(QueuePair& src, QueuePair& dst, SendWr wr,
   t->dst_qp = &dst;
   t->total_packets = cfg.packets_for(t->wire_length);
   t->read_response = read_response;
+  // SL resolution happens once per transfer: the WR's explicit SL wins,
+  // otherwise the sending QP's. A read response re-resolves at the serving
+  // QP, so give both ends of a connection the same SL (connect() callers
+  // here always do) to keep a read's two directions in one class.
+  t->sl = t->wr.sl == kInheritSl ? src.service_level()
+                                 : static_cast<std::uint8_t>(
+                                       t->wr.sl % FabricConfig::kMaxSls);
+  t->vl = cfg.vl_for_sl(t->sl);
   t->started_at = fabric_->simulation().now();
   src.account_sent(t->wire_length);
 
@@ -605,6 +613,25 @@ Fabric::Fabric(sim::Simulation& sim, FabricConfig config)
         config_.pfc_xoff > 1.0) {
       throw std::invalid_argument(
           "Fabric: PFC thresholds require 0 < xon <= xoff <= 1");
+    }
+  }
+  if (config_.qos_enabled) {
+    if (config_.num_vls == 0 || config_.num_vls > FabricConfig::kMaxVls) {
+      throw std::invalid_argument("Fabric: qos requires 1 <= num_vls <= 4");
+    }
+    for (std::size_t sl = 0; sl < FabricConfig::kMaxSls; ++sl) {
+      if (config_.sl2vl[sl] >= FabricConfig::kMaxVls) {
+        throw std::invalid_argument("Fabric: SL->VL map entry out of range");
+      }
+    }
+    for (std::size_t vl = 0; vl < config_.num_vls; ++vl) {
+      if (config_.vl_weight[vl] == 0) {
+        throw std::invalid_argument("Fabric: VL weights must be >= 1");
+      }
+    }
+    if (config_.vl_high_mask >= (1u << config_.num_vls)) {
+      throw std::invalid_argument(
+          "Fabric: vl_high_mask names an unconfigured lane");
     }
   }
   switch_hops_ = &sim_.metrics().counter("fabric.switch_hops");

@@ -29,6 +29,7 @@ void QueuePair::write_wqe(const SendWr& wr) {
   wqe.imm_data = wr.imm_data;
   wqe.opcode = static_cast<std::uint8_t>(wr.opcode);
   wqe.flags = wr.signaled ? Wqe::kFlagSignaled : 0;
+  wqe.sl = wr.sl;  // service level rides the ring (kInheritSl = QP's SL)
   wqe.inline_len = static_cast<std::uint16_t>(wr.header.size());
 
   auto& memory = memory_of(*domain_);
@@ -62,6 +63,7 @@ SendWr QueuePair::fetch_wqe(std::uint64_t index) {
   wr.rkey = wqe.rkey;
   wr.imm_data = wqe.imm_data;
   wr.signaled = (wqe.flags & Wqe::kFlagSignaled) != 0;
+  wr.sl = wqe.sl;
   if (wqe.inline_len > kMaxInlineBytes) {
     throw std::runtime_error("QueuePair: corrupt WQE inline length");
   }

@@ -47,6 +47,16 @@ class QueuePair {
   /// flushed with kWrFlushError instead of touching the wire.
   void set_error() noexcept { state_ = QpState::kError; }
 
+  /// Service level every WR on this QP inherits unless the WR overrides it
+  /// (SendWr::sl != kInheritSl). 0 — the latency class — by default, so SL
+  /// assignment is opt-in for bulk producers and inert while qos is off.
+  [[nodiscard]] std::uint8_t service_level() const noexcept {
+    return service_level_;
+  }
+  void set_service_level(std::uint8_t sl) noexcept {
+    service_level_ = static_cast<std::uint8_t>(sl % FabricConfig::kMaxSls);
+  }
+
   /// Next packet sequence number for this QP's send direction (RC transport;
   /// recorded on each packet for trace fidelity and retransmit accounting).
   [[nodiscard]] std::uint64_t advance_psn() noexcept { return send_psn_++; }
@@ -119,6 +129,7 @@ class QueuePair {
   CompletionQueue* recv_cq_;
   QpState state_ = QpState::kReset;
   QueuePair* peer_ = nullptr;
+  std::uint8_t service_level_ = 0;
   std::uint64_t send_psn_ = 0;
   std::deque<RecvWr> recv_queue_;
   std::uint64_t bytes_sent_ = 0;

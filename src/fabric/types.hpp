@@ -78,7 +78,9 @@ struct Wqe {
   std::uint8_t opcode = 0;
   std::uint8_t flags = 0;  // bit 0: signaled
   std::uint16_t inline_len = 0;
-  std::uint32_t reserved = 0;
+  std::uint8_t sl = 0;  // service level (0xFF = inherit the QP's SL)
+  std::uint8_t reserved8 = 0;
+  std::uint16_t reserved16 = 0;
   std::uint64_t pad[2] = {0, 0};
 
   static constexpr std::uint8_t kFlagSignaled = 1;
@@ -89,6 +91,9 @@ static_assert(std::is_trivially_copyable_v<Wqe>);
 /// SQ ring slot: 64-byte base segment + inline data area.
 inline constexpr std::size_t kSqSlotBytes = 256;
 inline constexpr std::size_t kMaxInlineBytes = kSqSlotBytes - sizeof(Wqe);
+
+/// Sentinel service level on a SendWr: use the posting QP's SL.
+inline constexpr std::uint8_t kInheritSl = 0xFF;
 
 /// A send-side work request, as passed to post_send.
 struct SendWr {
@@ -101,6 +106,10 @@ struct SendWr {
   std::uint32_t rkey = 0;
   std::uint32_t imm_data = 0;
   bool signaled = true;
+  /// Service level (resex::qos). kInheritSl (the default) uses the posting
+  /// QP's SL; an explicit value overrides it per-WR. Ignored while qos is
+  /// off — every packet then travels VL 0 exactly as before.
+  std::uint8_t sl = kInheritSl;
   /// Optional leading payload bytes that are really DMA-written at the
   /// destination (message headers). The remaining `length - header.size()`
   /// bytes are accounted for in timing and CQE byte_len but not copied —
@@ -191,6 +200,35 @@ struct FabricConfig {
   double pfc_xoff = 0.60;
   double pfc_xon = 0.30;
 
+  // --- service levels / virtual lanes (resex::qos) --------------------------
+  static constexpr std::uint32_t kMaxVls = 4;
+  static constexpr std::uint32_t kMaxSls = 16;
+  /// Per-priority queuing: WQEs/QPs carry a service level, the SL->VL map
+  /// assigns each packet to a virtual lane, and every channel schedules its
+  /// lanes through a two-table (high/low priority) weighted arbiter. Switch
+  /// ports then split their buffer, ECN marker and PFC pause state per VL —
+  /// pause frames carry a class bitmap and only gate the paused lanes
+  /// upstream. Off (the default) runs the historical single-lane datapath
+  /// byte-for-byte. Normally configured via qos::QosConfig::apply.
+  bool qos_enabled = false;
+  std::uint8_t num_vls = 1;
+  std::uint8_t sl2vl[kMaxSls] = {};
+  /// WRR weight per VL within its arbitration table.
+  std::uint32_t vl_weight[kMaxVls] = {1, 1, 1, 1};
+  /// Bit v: VL v is a member of the high-priority arbitration table.
+  std::uint8_t vl_high_mask = 0;
+  /// High-table grants allowed while low-table traffic waits before one
+  /// low-table grant is forced (0 = strict priority).
+  std::uint32_t vl_hi_limit = 0;
+
+  /// The VL a packet of service level `sl` travels on. VL 0 while qos is
+  /// off; out-of-range map entries clamp to the highest configured VL.
+  [[nodiscard]] std::uint8_t vl_for_sl(std::uint8_t sl) const noexcept {
+    if (!qos_enabled) return 0;
+    const std::uint8_t vl = sl2vl[sl % kMaxSls];
+    return vl < num_vls ? vl : static_cast<std::uint8_t>(num_vls - 1);
+  }
+
   /// True iff switch-port occupancy is accounted in bytes (a byte cap or a
   /// shared pool is configured) rather than packets.
   [[nodiscard]] bool byte_occupancy() const noexcept {
@@ -236,6 +274,12 @@ struct Transfer {
   std::uint32_t delivered_packets = 0;
   /// True for the data-bearing half of an RDMA read (target -> requester).
   bool read_response = false;
+  /// Effective service level (WR override or the source QP's SL) and the
+  /// virtual lane the SL->VL map assigned. Every packet of the transfer —
+  /// first transmission and retransmits alike — travels this VL; both stay
+  /// 0 while qos is off.
+  std::uint8_t sl = 0;
+  std::uint8_t vl = 0;
   /// RNR retries already spent at the target.
   std::uint32_t rnr_retries_used = 0;
   /// Sim time the first packet was enqueued (wire-latency span start).

@@ -1,0 +1,108 @@
+#include "qos/config.hpp"
+
+#include <charconv>
+#include <stdexcept>
+#include <string>
+
+namespace resex::qos {
+
+namespace {
+
+std::uint64_t parse_num(std::string_view what, std::string_view text) {
+  std::uint64_t value = 0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size() || text.empty()) {
+    throw std::invalid_argument(std::string(what) + ": expected a number, got '" +
+                                std::string(text) + "'");
+  }
+  return value;
+}
+
+/// Split `spec` on commas, calling `fn(field)` for each non-empty field.
+template <typename Fn>
+void for_each_field(std::string_view spec, Fn&& fn) {
+  while (!spec.empty()) {
+    const auto comma = spec.find(',');
+    const std::string_view field =
+        comma == std::string_view::npos ? spec : spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(comma + 1);
+    fn(field);
+  }
+}
+
+}  // namespace
+
+void QosConfig::set_sl_vl_map(std::string_view spec) {
+  if (spec.empty()) {
+    throw std::invalid_argument("sl-vl-map: empty spec");
+  }
+  bool saw_entry = false;
+  for_each_field(spec, [&](std::string_view field) {
+    const auto colon = field.find(':');
+    if (colon == std::string_view::npos) {
+      throw std::invalid_argument("sl-vl-map: want SL:VL pairs, got '" +
+                                  std::string(field) + "'");
+    }
+    const std::uint64_t sl = parse_num("sl-vl-map SL", field.substr(0, colon));
+    const std::uint64_t vl = parse_num("sl-vl-map VL", field.substr(colon + 1));
+    if (sl >= fabric::FabricConfig::kMaxSls) {
+      throw std::invalid_argument("sl-vl-map: SL must be < 16");
+    }
+    if (vl >= fabric::FabricConfig::kMaxVls) {
+      throw std::invalid_argument("sl-vl-map: VL must be < 4");
+    }
+    sl2vl[sl] = static_cast<std::uint8_t>(vl);
+    if (vl + 1 > num_vls) num_vls = static_cast<std::uint8_t>(vl + 1);
+    saw_entry = true;
+  });
+  if (!saw_entry) {
+    throw std::invalid_argument("sl-vl-map: empty spec");
+  }
+  map_set = true;
+}
+
+void QosConfig::set_vl_weights(std::string_view spec) {
+  std::size_t count = 0;
+  for_each_field(spec, [&](std::string_view field) {
+    if (count >= fabric::FabricConfig::kMaxVls) {
+      throw std::invalid_argument("vl-weights: at most 4 lanes");
+    }
+    const std::uint64_t w = parse_num("vl-weights", field);
+    if (w == 0 || w > 1u << 20) {
+      throw std::invalid_argument("vl-weights: weights must be in [1, 2^20]");
+    }
+    vl_weights[count++] = static_cast<std::uint32_t>(w);
+  });
+  if (count == 0) {
+    throw std::invalid_argument("vl-weights: empty spec");
+  }
+  if (count > num_vls) num_vls = static_cast<std::uint8_t>(count);
+  weights_set = true;
+}
+
+void QosConfig::apply(fabric::FabricConfig& fabric) const noexcept {
+  fabric.qos_enabled = enabled;
+  if (!enabled) return;
+  fabric.num_vls = num_vls;
+  for (std::size_t sl = 0; sl < fabric::FabricConfig::kMaxSls; ++sl) {
+    if (map_set) {
+      fabric.sl2vl[sl] = sl2vl[sl];
+    } else {
+      // Default map: SL s rides VL s, everything past the last lane shares
+      // it. With the default two lanes: SL0 (latency) -> VL0, SL1+ -> VL1.
+      fabric.sl2vl[sl] = static_cast<std::uint8_t>(
+          sl < num_vls ? sl : num_vls - 1);
+    }
+  }
+  for (std::size_t vl = 0; vl < fabric::FabricConfig::kMaxVls; ++vl) {
+    fabric.vl_weight[vl] = vl_weights[vl];
+  }
+  // Only configured lanes may sit in the high table.
+  fabric.vl_high_mask = static_cast<std::uint8_t>(
+      high_mask & ((1u << num_vls) - 1u));
+  fabric.vl_hi_limit = hi_limit;
+}
+
+}  // namespace resex::qos

@@ -30,6 +30,9 @@ std::vector<ClusterOutcome> run_cluster(std::vector<ClusterPoint> points,
       p.config.congestion.pfc = opts.pfc;
     }
   }
+  if (opts.qos_set()) {
+    for (auto& p : points) p.config.qos = opts.qos;
+  }
   const std::size_t seeds = opts.seeds == 0 ? 1 : opts.seeds;
   const auto metrics_period = static_cast<sim::SimDuration>(
       opts.metrics_period_ms * static_cast<double>(sim::kMillisecond));

@@ -113,6 +113,27 @@ RunnerOptions parse_options(int argc, const char* const* argv) {
         throw std::invalid_argument("--pfc: takes no value");
       }
       opts.pfc = true;
+    } else if (arg == "--qos") {
+      if (has_inline_value) {
+        throw std::invalid_argument("--qos: takes no value");
+      }
+      opts.qos.enabled = true;
+    } else if (arg == "--sl-vl-map") {
+      try {
+        opts.qos.set_sl_vl_map(take_value());
+      } catch (const std::invalid_argument& err) {
+        throw std::invalid_argument("--" + std::string(err.what()));
+      }
+    } else if (arg == "--vl-weights") {
+      try {
+        opts.qos.set_vl_weights(take_value());
+      } catch (const std::invalid_argument& err) {
+        throw std::invalid_argument("--" + std::string(err.what()));
+      }
+    } else if (arg == "--vl-hi-limit") {
+      opts.qos.hi_limit =
+          static_cast<std::uint32_t>(parse_u64(arg, take_value()));
+      opts.qos.hi_limit_set = true;
     } else if (arg == "--coll-ranks") {
       opts.coll_ranks =
           static_cast<std::uint32_t>(parse_u64(arg, take_value()));
@@ -168,6 +189,17 @@ RunnerOptions parse_options(int argc, const char* const* argv) {
     throw std::invalid_argument(
         "--pfc: requires finite buffers (--buf-pkts or --buf-bytes)");
   }
+  if (!opts.qos.enabled) {
+    if (opts.qos.map_set) {
+      throw std::invalid_argument("--sl-vl-map: requires --qos");
+    }
+    if (opts.qos.weights_set) {
+      throw std::invalid_argument("--vl-weights: requires --qos");
+    }
+    if (opts.qos.hi_limit_set) {
+      throw std::invalid_argument("--vl-hi-limit: requires --qos");
+    }
+  }
   return opts;
 }
 
@@ -205,6 +237,14 @@ void print_usage(std::ostream& os, const std::string& prog) {
      << "              admits up to A * free-pool bytes (needs --buf-bytes)\n"
      << "  --pfc               PFC-style lossless pause/resume instead of\n"
      << "              tail-drop (needs --buf-pkts or --buf-bytes)\n"
+     << "  --qos               service levels / virtual lanes: SL 0 (latency,\n"
+     << "              RPC + control) on high-priority VL 0, SL 1 (bulk,\n"
+     << "              collectives + migration) on VL 1; per-lane buffers,\n"
+     << "              ECN and per-priority PFC pause\n"
+     << "  --sl-vl-map SPEC    SL:VL pairs, e.g. 0:0,1:1,2:1 (needs --qos)\n"
+     << "  --vl-weights SPEC   per-lane WRR weights, e.g. 4,1 (needs --qos)\n"
+     << "  --vl-hi-limit N     consecutive high-table grants before a forced\n"
+     << "              low-table grant; 0 = strict priority (default 16)\n"
      << "  --coll-ranks N      collective benches only: override the rank\n"
      << "              count (>= 2; the bench's sweep otherwise)\n"
      << "  --coll-bytes N      collective payload size in bytes (multiple\n"

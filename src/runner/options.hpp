@@ -16,6 +16,10 @@
 //   --pool-alpha A       shared per-switch pool: --buf-bytes becomes the pool
 //                        size, ports admit alpha * free-pool bytes each
 //   --pfc                PFC-style lossless pause/resume (needs finite buffers)
+//   --qos                service levels / virtual lanes (2 lanes by default)
+//   --sl-vl-map SPEC     SL:VL pairs, e.g. 0:0,1:1,2:1 (needs --qos)
+//   --vl-weights SPEC    per-lane WRR weights, e.g. 4,1 (needs --qos)
+//   --vl-hi-limit N      high-table burst before a forced low-table grant
 //   --coll-ranks/--coll-bytes/--coll-chunk/--coll-algo/--coll-iters
 //                        collective-workload overrides (collective benches
 //                        only; 0/empty = the bench's own sweep)
@@ -26,6 +30,8 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+
+#include "qos/config.hpp"
 
 namespace resex::runner {
 
@@ -73,12 +79,18 @@ struct RunnerOptions {
   std::uint32_t coll_chunk = 0;   // largest single RDMA write
   std::string coll_algo;          // ring | allgather | bcast
   std::uint32_t coll_iters = 0;   // back-to-back iterations
+  /// Service levels / virtual lanes (--qos, --sl-vl-map, --vl-weights,
+  /// --vl-hi-limit). Defaults off: one lane, byte-identical output.
+  qos::QosConfig qos{};
   bool help = false;
 
   /// True when any congestion knob was set on the command line.
   [[nodiscard]] bool congestion_set() const {
     return buf_pkts > 0 || ecn_kmax > 0 || buf_bytes > 0;
   }
+
+  /// True when --qos was passed (the other qos flags require it).
+  [[nodiscard]] bool qos_set() const { return qos.enabled; }
 
   /// The worker count actually used: jobs, or hardware concurrency (>= 1).
   [[nodiscard]] std::size_t resolved_jobs() const;

@@ -27,6 +27,9 @@ std::vector<PointOutcome> run_sweep(std::vector<SweepPoint> points,
       p.config.congestion.pfc = opts.pfc;
     }
   }
+  if (opts.qos_set()) {
+    for (auto& p : points) p.config.qos = opts.qos;
+  }
   ThreadPool pool(opts.resolved_jobs());
   ObsOptions obs;
   obs.trace_base = opts.trace_path;
