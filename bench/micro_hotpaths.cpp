@@ -8,6 +8,8 @@
 #include "core/experiment.hpp"
 #include "finance/binomial.hpp"
 #include "finance/black_scholes.hpp"
+#include "routing/config.hpp"
+#include "routing/table.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulation.hpp"
 
@@ -85,6 +87,40 @@ void BM_Binomial(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Binomial)->Arg(64)->Arg(256);
+
+void BM_RoutingNextHopLookup(benchmark::State& state) {
+  // The per-packet forwarding decision: one dense-table lookup plus the
+  // flow-consistent ECMP hash, on a 16-switch fabric with 4 equal-cost
+  // candidates per (at, dst) pair.
+  constexpr std::uint32_t kSwitches = 16;
+  constexpr std::uint32_t kSpines = 4;
+  int ports[kSpines] = {};
+  routing::NextHopTable<int> table;
+  for (std::uint32_t at = 0; at < kSwitches; ++at) {
+    for (std::uint32_t dst = 0; dst < kSwitches; ++dst) {
+      if (at == dst) continue;
+      for (std::uint32_t k = 0; k < kSpines; ++k) {
+        table.add(at, dst, {(dst + k) % kSpines, &ports[(dst + k) % kSpines]});
+      }
+    }
+  }
+  table.compile(kSwitches);
+  std::uint32_t qp = 0;
+  for (auto _ : state) {
+    const std::uint32_t at = qp % kSwitches;
+    const std::uint32_t dst = (qp * 7 + 3) % kSwitches;
+    if (at == dst) {
+      ++qp;
+      continue;
+    }
+    const auto span = table.lookup(at, dst);
+    const auto pick = routing::ecmp_hash(qp, 1, 1) % span.count;
+    benchmark::DoNotOptimize(span[pick].via);
+    ++qp;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoutingNextHopLookup);
 
 void BM_ScenarioSimulatedSecondPerWallTime(benchmark::State& state) {
   // Full-system rate: one 200 ms base-case scenario per iteration.

@@ -64,10 +64,21 @@ void ClusterBroker::post_quotes() {
   auto& sim = cluster_->sim();
   const auto period = static_cast<double>(config_.period);
 
-  // One pass over the trunks: per-switch congestion is the worst adjacent
-  // trunk's price this period (enumeration order is creation order, and the
-  // per-trunk snapshots are indexed the same way — deterministic).
-  std::unordered_map<std::uint32_t, double> switch_congestion;
+  // One pass over the trunks (enumeration order is creation order, and the
+  // per-trunk snapshots are indexed the same way — deterministic). With
+  // static routing a switch's congestion is its worst adjacent trunk's
+  // price: one hot trunk is a hot path. Under multipath (resex::routing) a
+  // flow takes the best of its equal-cost candidates — in the 2-tier fat
+  // tree every outgoing trunk of a leaf is a candidate — so a switch prices
+  // at the *cheapest* trunk per direction (worse of up and down): one idle
+  // spine link means the path the packet would actually take is clear.
+  struct SwPrice {
+    double worst = 0.0;
+    double best_out = 1.0;
+    double best_in = 1.0;
+  };
+  const bool multipath = cluster_->fabric().config().routing.multipath();
+  std::unordered_map<std::uint32_t, SwPrice> switch_price;
   std::size_t trunk_idx = 0;
   cluster_->fabric().for_each_trunk([&](std::uint32_t from, std::uint32_t to,
                                         fabric::Channel& ch) {
@@ -80,11 +91,18 @@ void ClusterBroker::post_quotes() {
                                          marks - prev.marks,
                                          drops - prev.drops);
     prev = TrunkSnapshot{pkts, marks, drops};
-    for (const std::uint32_t sw : {from, to}) {
-      auto [it, inserted] = switch_congestion.try_emplace(sw, price);
-      if (!inserted) it->second = std::max(it->second, price);
-    }
+    SwPrice& out_side = switch_price[from];
+    out_side.worst = std::max(out_side.worst, price);
+    out_side.best_out = std::min(out_side.best_out, price);
+    SwPrice& in_side = switch_price[to];
+    in_side.worst = std::max(in_side.worst, price);
+    in_side.best_in = std::min(in_side.best_in, price);
   });
+  std::unordered_map<std::uint32_t, double> switch_congestion;
+  for (const auto& [sw, p] : switch_price) {
+    switch_congestion[sw] =
+        multipath ? std::max(p.best_out, p.best_in) : p.worst;
+  }
 
   for (std::uint32_t i = 0; i < cluster_->node_count(); ++i) {
     auto& hca = cluster_->hca(i);

@@ -89,6 +89,10 @@ ClusterScenarioResult run_cluster_scenario(
   ccfg.trunk_bandwidth_scale = config.trunk_bandwidth_scale;
   config.congestion.apply(ccfg.fabric);
   config.qos.apply(ccfg.fabric);
+  // Routing rides after qos: reserve_shift_lane grows num_vls *above* the
+  // applied SL->VL map, so no service level maps onto the shift lane.
+  ccfg.fabric.routing = config.routing;
+  if (config.routing.vl_shift) ccfg.fabric.reserve_shift_lane();
   Cluster cluster(ccfg);
   if (!config.trace_path.empty()) cluster.sim().tracer().enable();
 

@@ -25,6 +25,7 @@
 #include "cluster/migration.hpp"
 #include "congestion/config.hpp"
 #include "qos/config.hpp"
+#include "routing/config.hpp"
 #include "cluster/service.hpp"
 #include "cluster/topology.hpp"
 #include "obs/metrics.hpp"
@@ -67,6 +68,11 @@ struct ClusterScenarioConfig {
 
   /// Service levels / virtual lanes (resex::qos); defaults off = one lane.
   qos::QosConfig qos{};
+
+  /// Multipath routing / lane shifts (resex::routing); defaults off =
+  /// static single-path forwarding. Applied after qos so vl_shift can
+  /// reserve its shift lane above the SL->VL map.
+  routing::RoutingConfig routing{};
 
   sim::SimDuration warmup = 100 * sim::kMillisecond;
   sim::SimDuration duration = sim::kSecond;

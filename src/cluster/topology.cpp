@@ -49,14 +49,20 @@ void Cluster::build_fat_tree() {
       fabric_.add_trunk(leaf, spine, config_.trunk_bandwidth_scale);
     }
   }
-  // Leaf routing: cross-leaf traffic goes up to the spine the destination
-  // leaf index selects. Spines reach every leaf over their direct trunk (the
-  // fabric's fallback), so no spine table entries are needed.
+  // Leaf routing: every spine is an equal-cost next hop for cross-leaf
+  // traffic, installed in rotation starting from the destination-indexed
+  // spine — candidate 0 is exactly the single route the pre-multipath
+  // builder picked, so static mode stays byte-identical while ECMP and
+  // adaptive spread flows over the whole candidate set. Spines reach every
+  // leaf over their direct trunk (the fabric's fallback), so no spine table
+  // entries are needed.
   for (std::uint32_t src = 0; src < leaves; ++src) {
     for (std::uint32_t dst = 0; dst < leaves; ++dst) {
       if (src == dst) continue;
-      fabric_.set_route(leaf_sw[src], leaf_sw[dst],
-                        spine_sw[dst % config_.spines]);
+      for (std::uint32_t k = 0; k < config_.spines; ++k) {
+        fabric_.add_route_candidate(leaf_sw[src], leaf_sw[dst],
+                                    spine_sw[(dst + k) % config_.spines]);
+      }
     }
   }
   for (std::uint32_t i = 0; i < config_.nodes; ++i) {

@@ -215,6 +215,15 @@ void Hca::start_transfer(QueuePair& src, QueuePair& dst, SendWr wr,
                                  : static_cast<std::uint8_t>(
                                        t->wr.sl % FabricConfig::kMaxSls);
   t->vl = cfg.vl_for_sl(t->sl);
+  // Deadlock-avoidance lane shift (resex::routing): decided per route at
+  // injection, not at the wrap-around hop — a mid-path VL rewrite would put
+  // the upstream half of the route outside the shifted lane's PFC pause
+  // scope and turn "lossless" into silent drops. The whole transfer (every
+  // packet, retransmits included) travels the shifted lane; see DESIGN.md
+  // §11 for why injection-time assignment is still deadlock-free.
+  if (cfg.routing.vl_shift) {
+    t->vl = fabric_->shifted_vl(t->vl, src.hca().id(), dst.hca().id());
+  }
   t->started_at = fabric_->simulation().now();
   src.account_sent(t->wire_length);
 
@@ -634,7 +643,14 @@ Fabric::Fabric(sim::Simulation& sim, FabricConfig config)
           "Fabric: vl_high_mask names an unconfigured lane");
     }
   }
+  if (config_.routing.vl_shift &&
+      (!config_.qos_enabled || config_.num_vls < 2)) {
+    throw std::invalid_argument(
+        "Fabric: vl_shift requires qos with at least 2 lanes "
+        "(reserve_shift_lane after the qos config applies)");
+  }
   switch_hops_ = &sim_.metrics().counter("fabric.switch_hops");
+  route_rehash_ = &sim_.metrics().counter("fabric.route_rehash");
 }
 
 SwitchBufferPool* Fabric::switch_pool(std::uint32_t sw) {
@@ -678,7 +694,10 @@ Hca& Fabric::add_node(hv::Node& node, std::uint32_t switch_id) {
   return h;
 }
 
-std::uint32_t Fabric::add_switch() { return switch_count_++; }
+std::uint32_t Fabric::add_switch() {
+  nexthop_.invalidate();
+  return switch_count_++;
+}
 
 void Fabric::add_trunk(std::uint32_t a, std::uint32_t b,
                        double bandwidth_scale) {
@@ -713,14 +732,46 @@ void Fabric::add_trunk(std::uint32_t a, std::uint32_t b,
     trunk_by_pair_.emplace(pair_key(from, to), t->channel.get());
     trunks_.push_back(std::move(t));
   }
+  nexthop_.invalidate();
 }
 
 void Fabric::set_route(std::uint32_t at, std::uint32_t dst,
                        std::uint32_t via) {
-  if (trunk(at, via) == nullptr) {
+  Channel* out = trunk(at, via);
+  if (out == nullptr) {
     throw std::invalid_argument("Fabric::set_route: via is not trunk-adjacent");
   }
-  routes_[pair_key(at, dst)] = via;
+  nexthop_.set(at, dst, {via, out});
+}
+
+void Fabric::add_route_candidate(std::uint32_t at, std::uint32_t dst,
+                                 std::uint32_t via) {
+  Channel* out = trunk(at, via);
+  if (out == nullptr) {
+    throw std::invalid_argument(
+        "Fabric::add_route_candidate: via is not trunk-adjacent");
+  }
+  nexthop_.add(at, dst, {via, out});
+}
+
+std::vector<std::uint32_t> Fabric::route_candidates(std::uint32_t at,
+                                                    std::uint32_t dst) const {
+  std::vector<std::uint32_t> vias;
+  for (const auto& c : nexthop_.candidates(at, dst)) vias.push_back(c.via);
+  return vias;
+}
+
+std::uint8_t Fabric::shifted_vl(std::uint8_t vl, std::uint32_t src_hca,
+                                std::uint32_t dst_hca) const {
+  // Routes that go "up" the switch order (src switch <= dst switch) keep
+  // their lane; "down" routes — the ones that close a cycle on ring-shaped
+  // route sets, like the striped all-reduce's wrap-around — shift one lane.
+  // Each direction's channel-dependency graph is acyclic on its own lane
+  // set, so PFC pause trees can no longer close a loop (DESIGN.md §11).
+  if (!config_.routing.vl_shift) return vl;
+  if (switch_of(src_hca) <= switch_of(dst_hca)) return vl;
+  const auto top = static_cast<std::uint8_t>(config_.num_vls - 1);
+  return vl >= top ? top : static_cast<std::uint8_t>(vl + 1);
 }
 
 Channel* Fabric::trunk(std::uint32_t a, std::uint32_t b) noexcept {
@@ -751,31 +802,100 @@ void Fabric::route_from(const Hca& src, detail::Packet pkt) {
   hop(switch_of(src.id()), std::move(pkt));
 }
 
+void Fabric::finalize_routes() {
+  // Pairs without an explicit route keep the historical fallback — a direct
+  // trunk to the destination switch — materialized as a table entry so the
+  // forwarding path never consults the trunk map.
+  for (std::uint32_t at = 0; at < switch_count_; ++at) {
+    for (std::uint32_t dst = 0; dst < switch_count_; ++dst) {
+      if (at == dst || nexthop_.has(at, dst)) continue;
+      if (Channel* direct = trunk(at, dst); direct != nullptr) {
+        nexthop_.add(at, dst, {dst, direct});
+      }
+    }
+  }
+  nexthop_.compile(switch_count_);
+}
+
+std::uint32_t Fabric::pick_candidate(std::uint32_t sw,
+                                     const detail::Packet& pkt,
+                                     routing::NextHopTable<Channel>::Span span) {
+  const auto& rcfg = config_.routing;
+  if (span.count <= 1 || rcfg.mode == routing::RouteMode::kStatic) return 0;
+  const QueuePair& qp = *pkt.transfer->src_qp;
+  if (rcfg.mode == routing::RouteMode::kEcmp) {
+    return static_cast<std::uint32_t>(
+        routing::ecmp_hash(qp.num(), pkt.transfer->sl, rcfg.ecmp_seed) %
+        span.count);
+  }
+  // Adaptive: a flow (switch, QP) stays on its chosen port — per-QP order —
+  // and is re-placed on the least-loaded candidate at flow start, or
+  // mid-flow when its port is pause-gated and another candidate is not
+  // (PFC/ECN feedback reaches the chooser as pause state and backlog).
+  // Every input is deterministic sim state, so any --jobs interleaving
+  // makes identical choices.
+  const std::uint8_t vl = pkt.transfer->vl;
+  const auto blocked = [this, vl](const Channel& ch) {
+    return config_.qos_enabled ? ch.vl_paused(vl) : ch.paused();
+  };
+  const std::uint64_t key = (std::uint64_t{sw} << 32) | qp.num();
+  const auto it = flow_port_.find(key);
+  if (it != flow_port_.end() && it->second < span.count && pkt.index != 0 &&
+      !blocked(*span[it->second].port)) {
+    return it->second;
+  }
+  // Least-loaded by egress backlog; a paused port only wins when every
+  // candidate is paused. Lowest index breaks ties, so an idle fabric
+  // forwards exactly like static routing.
+  constexpr std::uint64_t kPausedPenalty = std::uint64_t{1} << 60;
+  std::uint32_t best = 0;
+  std::uint64_t best_load = ~std::uint64_t{0};
+  for (std::uint32_t i = 0; i < span.count; ++i) {
+    const Channel& ch = *span[i].port;
+    const std::uint64_t load =
+        ch.backlog_bytes() + (blocked(ch) ? kPausedPenalty : 0);
+    if (load < best_load) {
+      best = i;
+      best_load = load;
+    }
+  }
+  if (it == flow_port_.end()) {
+    flow_port_.emplace(key, best);
+  } else if (it->second != best) {
+    it->second = best;
+    route_rehash_->add();
+  }
+  return best;
+}
+
 void Fabric::hop(std::uint32_t sw, detail::Packet pkt) {
   // The destination port is determined by the QP the transfer is addressed
   // to (dst_qp is always the receiving end, including for read responses).
   Hca& dst = pkt.transfer->dst_qp->hca();
   const std::uint32_t dst_sw = switch_of(dst.id());
   switch_hops_->add();
-  RESEX_TRACE_INSTANT(sim_.tracer(), "pkt.hop", "fabric",
-                      {"switch", static_cast<double>(sw)},
-                      {"qp", static_cast<double>(pkt.transfer->src_qp->num())});
   if (dst_sw == sw) {
+    // Local delivery: the egress "port" is the destination host's downlink.
+    RESEX_TRACE_INSTANT(
+        sim_.tracer(), "pkt.hop", "fabric", {"switch", static_cast<double>(sw)},
+        {"qp", static_cast<double>(pkt.transfer->src_qp->num())},
+        {"port", static_cast<double>(dst.id())});
     dst.downlink().enqueue(std::move(pkt));
     return;
   }
-  std::uint32_t next = dst_sw;
-  if (const auto it = routes_.find(pair_key(sw, dst_sw));
-      it != routes_.end()) {
-    next = it->second;
-  }
-  Channel* out = trunk(sw, next);
-  if (out == nullptr) {
+  if (!nexthop_.compiled()) finalize_routes();
+  const auto span = nexthop_.lookup(sw, dst_sw);
+  if (span.empty()) {
     throw std::logic_error("Fabric::hop: no route from sw" +
                            std::to_string(sw) + " towards sw" +
                            std::to_string(dst_sw));
   }
-  out->enqueue(std::move(pkt));
+  const auto& next = span[pick_candidate(sw, pkt, span)];
+  RESEX_TRACE_INSTANT(
+      sim_.tracer(), "pkt.hop", "fabric", {"switch", static_cast<double>(sw)},
+      {"qp", static_cast<double>(pkt.transfer->src_qp->num())},
+      {"port", static_cast<double>(next.via)});
+  next.port->enqueue(std::move(pkt));
 }
 
 }  // namespace resex::fabric

@@ -22,6 +22,7 @@
 #include "fabric/types.hpp"
 #include "hv/node.hpp"
 #include "mem/tpt.hpp"
+#include "routing/table.hpp"
 
 namespace resex::fabric {
 
@@ -200,8 +201,31 @@ class Fabric {
 
   /// Routing table entry: packets at switch `at` destined for an HCA on
   /// switch `dst` leave on the trunk towards `via` (trunk-adjacent to `at`).
-  /// Without an entry the switch requires a direct trunk to `dst`.
+  /// Without an entry the switch requires a direct trunk to `dst`. Replaces
+  /// any previously installed candidate set for (at, dst).
   void set_route(std::uint32_t at, std::uint32_t dst, std::uint32_t via);
+
+  /// Append an equal-cost next hop for (at, dst) — resex::routing multipath.
+  /// The first candidate installed is the one static mode forwards on (and
+  /// topology builders install the historical single route first, keeping
+  /// static byte-identical); ECMP hashes flows across the whole set and
+  /// adaptive picks the least-loaded member. Duplicate `via`s are ignored.
+  void add_route_candidate(std::uint32_t at, std::uint32_t dst,
+                           std::uint32_t via);
+
+  /// The installed candidate next hops for (at, dst): explicit routes, or
+  /// empty when the pair would use the direct-trunk fallback (broker pricing
+  /// and tests; not the forwarding path, which uses the compiled table).
+  [[nodiscard]] std::vector<std::uint32_t> route_candidates(
+      std::uint32_t at, std::uint32_t dst) const;
+
+  /// The virtual lane a transfer travels after deadlock-avoidance lane
+  /// shifts (routing.vl_shift): routes that go "down" the switch order —
+  /// the direction that closes the cycle on ring-shaped route sets — move
+  /// to the next lane for their whole path, bounded by the configured lane
+  /// count. Identity while vl_shift is off.
+  [[nodiscard]] std::uint8_t shifted_vl(std::uint8_t vl, std::uint32_t src_hca,
+                                        std::uint32_t dst_hca) const;
 
   [[nodiscard]] std::uint32_t switch_count() const noexcept {
     return switch_count_;
@@ -279,6 +303,15 @@ class Fabric {
   /// on the trunk the routing table (or a direct trunk) names.
   void hop(std::uint32_t sw, detail::Packet pkt);
 
+  /// Compile the per-switch dense next-hop table: fill direct-trunk
+  /// fallbacks for pairs without explicit routes, then flatten. Runs lazily
+  /// on the first hop after any topology/route mutation.
+  void finalize_routes();
+  /// Candidate index the packet forwards on at `sw` (mode-dependent).
+  [[nodiscard]] std::uint32_t pick_candidate(
+      std::uint32_t sw, const detail::Packet& pkt,
+      routing::NextHopTable<Channel>::Span span);
+
   static std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) noexcept {
     return (std::uint64_t{a} << 32) | b;
   }
@@ -292,8 +325,14 @@ class Fabric {
   std::vector<std::unique_ptr<SwitchBufferPool>> pools_;         // per switch
   std::vector<std::unique_ptr<std::vector<Channel*>>> feeders_;  // per switch
   std::unordered_map<std::uint64_t, Channel*> trunk_by_pair_;
-  std::unordered_map<std::uint64_t, std::uint32_t> routes_;  // (at,dst)->via
+  /// Per-switch next-hop candidates, compiled into a dense flat table for
+  /// the forwarding hot path (replaces the historical (at,dst)->via map).
+  routing::NextHopTable<Channel> nexthop_;
+  /// Adaptive routing: the candidate index flow (switch, QP) currently
+  /// forwards on; re-evaluated at flow start and on pause escape.
+  std::unordered_map<std::uint64_t, std::uint32_t> flow_port_;
   obs::Counter* switch_hops_ = nullptr;
+  obs::Counter* route_rehash_ = nullptr;
   QpNum next_qp_ = 1;
   std::uint32_t next_cq_ = 1;
   FaultHook* fault_hook_ = nullptr;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "mem/guest_memory.hpp"
+#include "routing/config.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
@@ -220,6 +221,21 @@ struct FabricConfig {
   /// High-table grants allowed while low-table traffic waits before one
   /// low-table grant is forced (0 = strict priority).
   std::uint32_t vl_hi_limit = 0;
+
+  // --- multipath forwarding (resex::routing) --------------------------------
+  /// Route selection among equal-cost candidates and deadlock-free lane
+  /// shifts. Defaults to static single-path forwarding, byte-identical to
+  /// builds without the routing subsystem.
+  routing::RoutingConfig routing{};
+
+  /// Reserve one virtual lane as lane-shift headroom for vl_shift routing:
+  /// grow num_vls by one (within kMaxVls) *after* the qos config has applied
+  /// its SL->VL map, so no service level maps onto the shift lane and
+  /// shifted traffic never shares a lane with unshifted traffic of another
+  /// class. No-op while qos is off (Fabric rejects vl_shift without qos).
+  void reserve_shift_lane() noexcept {
+    if (qos_enabled && num_vls < kMaxVls) ++num_vls;
+  }
 
   /// The VL a packet of service level `sl` travels on. VL 0 while qos is
   /// off; out-of-range map entries clamp to the highest configured VL.

@@ -93,10 +93,12 @@ void append_json_string(std::string& out, std::string_view s) {
 }
 
 void append_args(std::string& out, const TraceEvent& ev) {
-  if (ev.a.key == nullptr && ev.b.key == nullptr) return;
+  if (ev.a.key == nullptr && ev.b.key == nullptr && ev.c.key == nullptr) {
+    return;
+  }
   out += ",\"args\":{";
   bool first = true;
-  for (const TraceArg* arg : {&ev.a, &ev.b}) {
+  for (const TraceArg* arg : {&ev.a, &ev.b, &ev.c}) {
     if (arg->key == nullptr) continue;
     if (!first) out.push_back(',');
     first = false;

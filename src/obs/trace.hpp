@@ -48,6 +48,7 @@ struct TraceEvent {
   sim::SimDuration dur = 0;  // span length ('X' only)
   TraceArg a{};
   TraceArg b{};
+  TraceArg c{};
 };
 
 /// Incremental trace writer: the streaming counterpart of save_trace. Opens
@@ -112,9 +113,9 @@ class Tracer {
 
   /// Record an instant event at the current simulated time.
   void instant(const char* name, const char* category, TraceArg a = {},
-               TraceArg b = {}) {
+               TraceArg b = {}, TraceArg c = {}) {
     if (!enabled_) return;
-    push(TraceEvent{name, category, 'i', *clock_, 0, a, b});
+    push(TraceEvent{name, category, 'i', *clock_, 0, a, b, c});
   }
 
   /// Record a complete span [start, start + dur).

@@ -1,0 +1,25 @@
+#include "routing/config.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace resex::routing {
+
+const char* to_string(RouteMode mode) noexcept {
+  switch (mode) {
+    case RouteMode::kStatic: return "static";
+    case RouteMode::kEcmp: return "ecmp";
+    case RouteMode::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+RouteMode parse_route_mode(std::string_view text) {
+  if (text == "static") return RouteMode::kStatic;
+  if (text == "ecmp") return RouteMode::kEcmp;
+  if (text == "adaptive") return RouteMode::kAdaptive;
+  throw std::invalid_argument("unknown routing mode '" + std::string(text) +
+                              "' (expected static|ecmp|adaptive)");
+}
+
+}  // namespace resex::routing

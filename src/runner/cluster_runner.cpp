@@ -33,6 +33,9 @@ std::vector<ClusterOutcome> run_cluster(std::vector<ClusterPoint> points,
   if (opts.qos_set()) {
     for (auto& p : points) p.config.qos = opts.qos;
   }
+  if (opts.routing_set()) {
+    for (auto& p : points) p.config.routing = opts.routing;
+  }
   const std::size_t seeds = opts.seeds == 0 ? 1 : opts.seeds;
   const auto metrics_period = static_cast<sim::SimDuration>(
       opts.metrics_period_ms * static_cast<double>(sim::kMillisecond));

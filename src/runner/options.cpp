@@ -134,6 +134,16 @@ RunnerOptions parse_options(int argc, const char* const* argv) {
       opts.qos.hi_limit =
           static_cast<std::uint32_t>(parse_u64(arg, take_value()));
       opts.qos.hi_limit_set = true;
+    } else if (arg == "--routing") {
+      opts.routing.mode = routing::parse_route_mode(take_value());
+    } else if (arg == "--ecmp-seed") {
+      opts.routing.ecmp_seed = parse_u64(arg, take_value());
+      opts.ecmp_seed_set = true;
+    } else if (arg == "--vl-shift") {
+      if (has_inline_value) {
+        throw std::invalid_argument("--vl-shift: takes no value");
+      }
+      opts.routing.vl_shift = true;
     } else if (arg == "--coll-ranks") {
       opts.coll_ranks =
           static_cast<std::uint32_t>(parse_u64(arg, take_value()));
@@ -200,6 +210,13 @@ RunnerOptions parse_options(int argc, const char* const* argv) {
       throw std::invalid_argument("--vl-hi-limit: requires --qos");
     }
   }
+  if (opts.ecmp_seed_set && !opts.routing.multipath()) {
+    throw std::invalid_argument(
+        "--ecmp-seed: requires --routing ecmp or --routing adaptive");
+  }
+  if (opts.routing.vl_shift && !opts.qos.enabled) {
+    throw std::invalid_argument("--vl-shift: requires --qos (lane headroom)");
+  }
   return opts;
 }
 
@@ -245,6 +262,14 @@ void print_usage(std::ostream& os, const std::string& prog) {
      << "  --vl-weights SPEC   per-lane WRR weights, e.g. 4,1 (needs --qos)\n"
      << "  --vl-hi-limit N     consecutive high-table grants before a forced\n"
      << "              low-table grant; 0 = strict priority (default 16)\n"
+     << "  --routing MODE      multipath route selection on fat-tree fabrics:\n"
+     << "              static (one trunk per pair, the default) | ecmp\n"
+     << "              (flow-consistent hash over (QP, SL)) | adaptive\n"
+     << "              (least-loaded candidate at flow start + pause escape)\n"
+     << "  --ecmp-seed S       hash seed for ECMP/adaptive flow placement\n"
+     << "  --vl-shift          deadlock-free lane shifts: routes crossing the\n"
+     << "              switch-order wrap travel one lane up, breaking cyclic\n"
+     << "              PFC buffer dependencies (needs --qos; reserves a lane)\n"
      << "  --coll-ranks N      collective benches only: override the rank\n"
      << "              count (>= 2; the bench's sweep otherwise)\n"
      << "  --coll-bytes N      collective payload size in bytes (multiple\n"

@@ -20,6 +20,9 @@
 //   --sl-vl-map SPEC     SL:VL pairs, e.g. 0:0,1:1,2:1 (needs --qos)
 //   --vl-weights SPEC    per-lane WRR weights, e.g. 4,1 (needs --qos)
 //   --vl-hi-limit N      high-table burst before a forced low-table grant
+//   --routing MODE       static | ecmp | adaptive multipath forwarding
+//   --ecmp-seed S        flow-consistent hash seed (needs --routing != static)
+//   --vl-shift           deadlock-free lane shifts on cyclic routes (needs --qos)
 //   --coll-ranks/--coll-bytes/--coll-chunk/--coll-algo/--coll-iters
 //                        collective-workload overrides (collective benches
 //                        only; 0/empty = the bench's own sweep)
@@ -32,6 +35,7 @@
 #include <string>
 
 #include "qos/config.hpp"
+#include "routing/config.hpp"
 
 namespace resex::runner {
 
@@ -82,6 +86,11 @@ struct RunnerOptions {
   /// Service levels / virtual lanes (--qos, --sl-vl-map, --vl-weights,
   /// --vl-hi-limit). Defaults off: one lane, byte-identical output.
   qos::QosConfig qos{};
+  /// Multipath routing / lane shifts (--routing, --ecmp-seed, --vl-shift).
+  /// Defaults off: static single-path forwarding, byte-identical output.
+  routing::RoutingConfig routing{};
+  /// --ecmp-seed was passed explicitly (it requires a multipath mode).
+  bool ecmp_seed_set = false;
   bool help = false;
 
   /// True when any congestion knob was set on the command line.
@@ -91,6 +100,9 @@ struct RunnerOptions {
 
   /// True when --qos was passed (the other qos flags require it).
   [[nodiscard]] bool qos_set() const { return qos.enabled; }
+
+  /// True when any routing knob was set on the command line.
+  [[nodiscard]] bool routing_set() const { return routing.any(); }
 
   /// The worker count actually used: jobs, or hardware concurrency (>= 1).
   [[nodiscard]] std::size_t resolved_jobs() const;
